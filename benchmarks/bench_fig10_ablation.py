@@ -1,0 +1,63 @@
+"""Figure 10: the impact of individual optimizations (leave-one-out).
+
+Shape checks (paper §6.4): the passes are synergistic — no single pass
+accounts for everything; reassociation is the clear gateway optimization
+(disabling it hurts most); and disabling store forwarding *helps* the
+aliasing-heavy Excel analogue.
+"""
+
+from dataclasses import replace
+
+from repro.harness.experiment import CONFIGS, run_experiment
+from repro.harness.figures import FIG10_WORKLOADS, run_fig10
+from repro.harness.report import format_fig10
+from repro.optimizer import OptimizerConfig
+
+
+def test_bench_fig10(matrix, benchmark):
+    rows = benchmark.pedantic(run_fig10, args=(matrix,), rounds=1, iterations=1)
+    print()
+    print(format_fig10(rows))
+
+    assert [r.name for r in rows] == FIG10_WORKLOADS
+    # Score each pass by how much its absence costs, averaged over the
+    # workloads where optimization is clearly positive (relative scale is
+    # meaningless when RPO ~= RP).
+    positive = [
+        r for r in rows
+        if matrix.run(r.name, CONFIGS["RPO"]).ipc_x86
+        > 1.02 * matrix.run(r.name, CONFIGS["RP"]).ipc_x86
+    ]
+    assert len(positive) >= 3
+    variants = rows[0].relative_ipc.keys()
+    averages = {
+        v: sum(r.relative_ipc[v] for r in positive) / len(positive)
+        for v in variants
+    }
+
+    # Reassociation is the most important single optimization (paper:
+    # "There is one clear trend: reassociation is a significant
+    # optimization").
+    assert averages["ra"] == min(averages.values())
+    assert averages["ra"] < 0.8  # losing RA costs a clear chunk
+
+    # CSE dominates on bzip2 (paper: "On the bzip2 benchmark, the effect
+    # of CSE is dominant").
+    bzip2 = next(r for r in rows if r.name == "bzip2")
+    assert bzip2.relative_ipc["cse"] == min(bzip2.relative_ipc.values())
+
+    # Excel's unsafe-store aliasing: "Excel exhibits an increase in
+    # effective IPC when the Store Forwarding optimization is disabled"
+    # (paper §6.4) — check the raw IPC comparison.
+    trace = matrix.trace("excel")
+    rpo = matrix.run("excel", CONFIGS["RPO"])
+    no_sf = run_experiment(
+        trace,
+        replace(
+            CONFIGS["RPO"],
+            name="RPO-no-sf",
+            optimizer=OptimizerConfig().disabled("sf"),
+        ),
+        workload_name="excel",
+    )
+    assert no_sf.ipc_x86 > rpo.ipc_x86

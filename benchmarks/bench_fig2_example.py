@@ -1,0 +1,24 @@
+"""Figure 2: the crafty running example at all optimization scopes.
+
+The frame-level result must match the paper exactly: 7 of 17
+micro-operations removed, including 2 of the 5 loads.
+"""
+
+from repro.harness.fig2 import figure2_report, optimize_at_scopes
+
+
+def test_bench_figure2(benchmark):
+    results = benchmark.pedantic(optimize_at_scopes, rounds=3, iterations=1)
+    print()
+    print(figure2_report())
+    by_scope = {r.scope: r for r in results}
+    assert by_scope["unoptimized"].uops == 17
+    assert by_scope["unoptimized"].loads == 5
+    assert by_scope["frame"].uops == 10  # paper: 7 of 17 removed
+    assert by_scope["frame"].loads == 3  # paper: 2 of 5 loads removed
+    assert by_scope["block"].uops == 13  # paper's intra-block column
+    assert (
+        by_scope["frame"].uops
+        <= by_scope["inter"].uops
+        <= by_scope["block"].uops
+    )

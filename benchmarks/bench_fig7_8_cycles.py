@@ -1,0 +1,50 @@
+"""Figures 7 and 8: cycle breakdowns for RP vs RPO.
+
+Shape checks (paper §6.1): the optimizer's major impact is a reduction
+in Frame cycles (paper: ~21% net), assert cycles stay a small fraction
+of execution, and every cycle is accounted to exactly one bin.
+"""
+
+from repro.harness.figures import PAPER_ORDER, run_fig7_8
+from repro.harness.report import format_fig7_8
+
+
+def test_bench_fig7_spec(matrix, benchmark):
+    spec = PAPER_ORDER[:7]
+    rows = benchmark.pedantic(
+        run_fig7_8, args=(matrix, spec), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig7_8(rows))
+    _check_breakdown(rows)
+
+
+def test_bench_fig8_desktop(matrix, benchmark):
+    desktop = PAPER_ORDER[7:]
+    rows = benchmark.pedantic(
+        run_fig7_8, args=(matrix, desktop), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig7_8(rows))
+    _check_breakdown(rows)
+
+
+def _check_breakdown(rows):
+    by_key = {(r.name, r.config): r for r in rows}
+    names = {r.name for r in rows}
+
+    frame_rp = sum(by_key[(n, "RP")].bins["frame"] for n in names)
+    frame_rpo = sum(by_key[(n, "RPO")].bins["frame"] for n in names)
+    # The optimizer's main effect: fewer Frame cycles (paper: ~21%).
+    assert frame_rpo < frame_rp
+    reduction = 1 - frame_rpo / frame_rp
+    assert 0.05 <= reduction <= 0.60
+
+    for row in rows:
+        accounted = sum(row.bins.values())
+        # Fetch-side accounting covers (almost) the entire run.
+        assert accounted <= row.cycles
+        assert accounted >= 0.9 * row.cycles
+        # Assert-recovery cycles remain a modest fraction (paper: <3%
+        # average; we allow a looser bound on scaled-down traces).
+        assert row.bins["assert"] <= 0.35 * row.cycles

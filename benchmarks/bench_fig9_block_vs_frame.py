@@ -1,0 +1,29 @@
+"""Figure 9: intra-block vs frame-level optimization scope.
+
+Shape checks (paper §6.3): block-level optimization offers some benefit,
+but frame-level optimization yields substantially more — and (like
+SoundForge in the paper) block-level can even lose to basic rePLay once
+the optimizer's latency outweighs its meagre gains.
+"""
+
+from repro.harness.figures import run_fig9
+from repro.harness.report import format_fig9
+
+#: A representative subset ("a select group of traces", paper §6.3).
+SELECTED = ["bzip2", "crafty", "eon", "vortex", "excel", "photo", "sound"]
+
+
+def test_bench_fig9(matrix, benchmark):
+    rows = benchmark.pedantic(
+        run_fig9, args=(matrix, SELECTED), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig9(rows))
+
+    frame_avg = sum(r.frame_speedup for r in rows) / len(rows)
+    block_avg = sum(r.block_speedup for r in rows) / len(rows)
+    # Frame-level scope must clearly beat intra-block scope on average.
+    assert frame_avg > block_avg
+    assert frame_avg > 0.08
+    # Per-application: frame >= block for the large majority.
+    assert sum(r.frame_speedup >= r.block_speedup - 0.02 for r in rows) >= len(rows) - 1

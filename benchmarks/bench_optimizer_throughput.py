@@ -1,0 +1,68 @@
+"""Optimizer engine micro-benchmarks.
+
+Measures the software optimizer's throughput on realistic frames — the
+quantity the paper's hardware datapath (10 cycles/uop, 3-deep pipeline,
+§5.1.4) abstracts — and checks the latency model's arithmetic.
+"""
+
+from repro.harness.fig2 import build_figure2_frame
+from repro.optimizer import FrameOptimizer, OptimizerConfig
+from repro.replay import ConstructorConfig, FrameConstructor
+from repro.trace import MicroOpInjector
+from repro.workloads import build_workload
+
+
+def _fresh_buffer():
+    frame = build_figure2_frame()
+    return frame.build_buffer()
+
+
+def test_bench_optimize_figure2_frame(benchmark):
+    result = benchmark.pedantic(
+        lambda: FrameOptimizer().optimize(_fresh_buffer()),
+        rounds=20,
+        iterations=1,
+    )
+    assert result.uops_after == 10
+
+
+def _large_frame():
+    trace = build_workload("bzip2")
+    injected = MicroOpInjector().inject_trace(trace)
+    constructor = FrameConstructor(ConstructorConfig(promotion_threshold=2))
+    best = None
+    for instr in injected:
+        frame = constructor.retire(instr)
+        if frame is not None and (best is None or frame.raw_uop_count > best.raw_uop_count):
+            best = frame
+        if best is not None and best.raw_uop_count >= 200:
+            break
+    assert best is not None
+    return best
+
+
+def test_bench_optimize_large_frame(benchmark):
+    template = _large_frame()
+
+    def optimize_fresh():
+        frame = template
+        frame.buffer = None  # rebuild the buffer each round
+        buffer = frame.build_buffer()
+        return FrameOptimizer().optimize(buffer)
+
+    result = benchmark.pedantic(optimize_fresh, rounds=5, iterations=1)
+    assert result.uops_after < result.uops_before
+    # The modeled hardware latency: 10 cycles per incoming uop.
+    assert result.optimization_cycles == 10 * result.uops_before
+
+
+def test_bench_simulation_throughput(benchmark):
+    """End-to-end simulator speed on one workload/config pair."""
+    from repro.harness import CONFIGS, run_experiment
+
+    trace = build_workload("lotus")
+
+    result = benchmark.pedantic(
+        lambda: run_experiment(trace, CONFIGS["RPO"]), rounds=3, iterations=1
+    )
+    assert result.sim.x86_retired == len(trace)

@@ -1,0 +1,26 @@
+"""Table 1: the experimental workload set.
+
+Regenerates the workload summary (our synthetic analogue of the paper's
+trace table) and benchmarks trace generation itself.
+"""
+
+from repro.harness.figures import PAPER_ORDER, run_table1
+from repro.harness.report import format_table1
+from repro.workloads import all_workloads, build_workload
+
+
+def test_bench_table1(matrix, benchmark):
+    rows = benchmark.pedantic(run_table1, args=(matrix,), rounds=1, iterations=1)
+    print()
+    print(format_table1(rows))
+    assert [r.name for r in rows] == PAPER_ORDER
+    # 7 SPECint + 7 desktop, as in the paper.
+    assert sum(r.category == "SPECint" for r in rows) == 7
+    assert all(r.x86_instructions >= 5_000 for r in rows)
+
+
+def test_bench_trace_generation_speed(benchmark):
+    trace = benchmark.pedantic(
+        build_workload, args=("twolf",), rounds=1, iterations=1
+    )
+    assert len(trace) > 5_000

@@ -1,0 +1,19 @@
+"""Table 2: processor configuration rendering (and construction cost)."""
+
+from repro.harness.figures import run_table2
+from repro.timing import PipelineModel, default_config
+
+
+def test_bench_table2(benchmark):
+    text = benchmark.pedantic(run_table2, rounds=10, iterations=1)
+    print()
+    print(text)
+    for expected in ("8-wide", "18-bit gshare", "512", "50 cycles"):
+        assert expected in text
+
+
+def test_bench_pipeline_construction(benchmark):
+    model = benchmark.pedantic(
+        lambda: PipelineModel(default_config()), rounds=10, iterations=1
+    )
+    assert model.config.fetch_width == 8

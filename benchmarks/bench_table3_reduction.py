@@ -1,0 +1,31 @@
+"""Table 3: micro-operations and loads removed by the optimizer.
+
+Shape checks (paper §6.2): ~21% of dynamic uops and ~22% of dynamic
+loads removed on average, with removal correlating with IPC gains.
+"""
+
+from repro.harness.figures import run_table3
+from repro.harness.report import format_table3
+
+
+def test_bench_table3(matrix, benchmark):
+    rows = benchmark.pedantic(run_table3, args=(matrix,), rounds=1, iterations=1)
+    print()
+    print(format_table3(rows))
+
+    average = rows[-1]
+    assert average.name == "Average"
+    # Paper averages: 21% uops, 22% loads, 17% IPC.
+    assert 0.10 <= average.uops_removed <= 0.35
+    assert 0.10 <= average.loads_removed <= 0.40
+    assert 0.08 <= average.ipc_increase <= 0.60
+
+    per_app = rows[:-1]
+    # Removal happens essentially everywhere.
+    assert sum(r.uops_removed > 0.03 for r in per_app) >= 12
+    # Rough correlation between removal and IPC gain (paper §6.2): the
+    # high-removal half should out-gain the low-removal half.
+    ranked = sorted(per_app, key=lambda r: r.uops_removed)
+    low = sum(r.ipc_increase for r in ranked[:7]) / 7
+    high = sum(r.ipc_increase for r in ranked[7:]) / 7
+    assert high > low

@@ -1,0 +1,15 @@
+"""Shared state for the benchmark suite.
+
+A session-scoped :class:`ResultMatrix` lets every bench reuse the same
+(workload, configuration) simulations, mirroring how the paper reports
+one set of runs across all its tables and figures.
+"""
+
+import pytest
+
+from repro.harness.figures import ResultMatrix
+
+
+@pytest.fixture(scope="session")
+def matrix() -> ResultMatrix:
+    return ResultMatrix()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Compare the paper's four processor configurations on one workload.
+
+Runs a chosen workload (default: bzip2) under ICache, Trace Cache, basic
+rePLay, and optimizing rePLay, printing x86 IPC and the Figure 7/8-style
+cycle breakdown for each.
+
+Run with::
+
+    python examples/compare_configs.py [workload]
+"""
+
+import sys
+
+from repro.harness import CONFIGS, run_experiment
+from repro.timing.pipeline import BINS
+from repro.workloads import all_workloads, build_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "bzip2"
+    available = [w.name for w in all_workloads()]
+    if name not in available:
+        print(f"unknown workload {name!r}; choose from {available}")
+        raise SystemExit(1)
+
+    trace = build_workload(name)
+    stats = trace.stats()
+    print(f"workload {name}: {stats.x86_instructions:,} x86 instructions, "
+          f"{stats.loads:,} loads, {stats.conditional_branches:,} branches\n")
+
+    header = f"{'config':6s} {'IPC':>6s} {'cycles':>9s} {'cover':>6s}  " + \
+        " ".join(f"{b:>8s}" for b in BINS)
+    print(header)
+    print("-" * len(header))
+    for config_name in ("IC", "TC", "RP", "RPO"):
+        result = run_experiment(trace, CONFIGS[config_name])
+        bins = " ".join(f"{result.sim.bins[b]:8,d}" for b in BINS)
+        print(f"{config_name:6s} {result.ipc_x86:6.2f} {result.sim.cycles:9,d} "
+              f"{result.coverage:6.0%}  {bins}")
+
+    rp = run_experiment(trace, CONFIGS["RP"])
+    rpo = run_experiment(trace, CONFIGS["RPO"])
+    print(f"\nRPO over RP: {rpo.ipc_x86 / rp.ipc_x86 - 1:+.1%} IPC, "
+          f"{rpo.uop_reduction:.1%} of dynamic uops removed, "
+          f"{rpo.load_reduction:.1%} of dynamic loads removed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Author your own workload and measure what the optimizer removes.
+
+Demonstrates the pattern a downstream user follows to study a new
+kernel: write it in the assembler DSL, capture a trace, and run it with
+frame verification enabled so every optimized frame is checked against
+the original instruction stream's architectural effects.
+
+The kernel here is a string-table interning loop: hash a short string,
+probe a table, and insert on miss — a mix of byte loads, stack spills,
+and a data-dependent probe branch.
+
+Run with::
+
+    python examples/custom_workload.py
+"""
+
+import random
+from dataclasses import replace
+
+from repro.x86 import Assembler, Cond, Emulator, Imm, Reg, mem
+from repro.trace import DynamicTrace
+from repro.harness import CONFIGS, run_experiment
+
+TABLE = 0x0050_0000  # 256 slots
+STRINGS = 0x0050_2000
+
+
+def build_program(seed: int = 7):
+    rng = random.Random(seed)
+    asm = Assembler()
+    # Pre-populated table: the probe branch is biased from the start, so
+    # the frame constructor sees a stable hot path immediately.
+    asm.data_words(TABLE, [rng.randrange(1, 1 << 16) for _ in range(256)])
+    asm.data_bytes(STRINGS, bytes(rng.choice(b"abcdefgh") for _ in range(2048)))
+
+    asm.mov(Reg.ECX, Imm(3000))
+    asm.xor(Reg.EDI, Reg.EDI)  # string offset
+    asm.label("loop")
+    # hash = (s[0]*31 + s[1]) & 255
+    asm.movzx(Reg.EAX, mem(index=Reg.EDI, disp=STRINGS, size=1))
+    asm.imul(Reg.EAX, Imm(31))
+    asm.movzx(Reg.EDX, mem(index=Reg.EDI, disp=STRINGS + 1, size=1))
+    asm.add(Reg.EAX, Reg.EDX)
+    asm.and_(Reg.EAX, Imm(255))
+    # probe: empty slot -> insert; else bump hit counter via a spill
+    asm.mov(Reg.EBX, mem(index=Reg.EAX, scale=4, disp=TABLE))
+    asm.test(Reg.EBX, Reg.EBX)
+    asm.jcc(Cond.Z, "insert")
+    asm.push(Reg.EBX)
+    asm.inc(Reg.EBX)
+    asm.pop(Reg.EDX)  # forwarded by the optimizer
+    asm.mov(mem(index=Reg.EAX, scale=4, disp=TABLE), Reg.EBX)
+    asm.jmp("next")
+    asm.label("insert")
+    asm.mov(mem(index=Reg.EAX, scale=4, disp=TABLE), Reg.EDI)
+    asm.label("next")
+    asm.add(Reg.EDI, Imm(2))
+    asm.and_(Reg.EDI, Imm(2047 - 2))
+    asm.dec(Reg.ECX)
+    asm.jcc(Cond.NZ, "loop")
+    asm.ret()
+    return asm.assemble()
+
+
+def main() -> None:
+    program = build_program()
+    trace = DynamicTrace(Emulator(program).run(), name="interning")
+    print(f"custom workload: {len(trace):,} x86 instructions")
+
+    rp = run_experiment(trace, CONFIGS["RP"])
+    # verify=True runs the State Verifier on every distinct frame path.
+    rpo = run_experiment(trace, replace(CONFIGS["RPO"], verify=True))
+    print(f"RP  IPC = {rp.ipc_x86:.2f}")
+    print(f"RPO IPC = {rpo.ipc_x86:.2f} ({rpo.ipc_x86 / rp.ipc_x86 - 1:+.1%})")
+    print(f"dynamic uops removed:  {rpo.uop_reduction:.1%}")
+    print(f"dynamic loads removed: {rpo.load_reduction:.1%}")
+    print(f"frames verified against the trace: {rpo.frames_verified}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so editable installs work without the ``wheel`` package.
+
+The offline environment lacks ``wheel``; ``pip install -e . --no-use-pep517
+--no-build-isolation`` (or plain ``pip install -e .`` on machines with
+wheel) both work.
+"""
+
+from setuptools import setup
+
+setup()

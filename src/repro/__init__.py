@@ -1,0 +1,39 @@
+"""repro — reproduction of "Dynamic Optimization of Micro-Operations" (HPCA 2003).
+
+A from-scratch implementation of the paper's full system: an x86-subset
+assembler and functional emulator (the trace source), the rePLay-ISA
+micro-operation translator, the rePLay frame constructor / optimizer /
+frame cache / sequencer, a trace-cache baseline, an 8-wide timing model,
+a state verifier, fourteen synthetic workloads, and an experiment harness
+that regenerates every table and figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro import build_workload, run_experiment, CONFIGS
+
+    trace = build_workload("bzip2")
+    result = run_experiment(trace, CONFIGS["RPO"])
+    print(result.ipc_x86, result.uop_reduction)
+"""
+
+__version__ = "1.0.0"
+
+from repro.x86 import Assembler, Cond, Emulator, Imm, Reg, mem
+from repro.uops import Translator, Uop, UopOp, UReg
+from repro.trace import DynamicTrace, MicroOpInjector
+
+__all__ = [
+    "Assembler",
+    "Cond",
+    "DynamicTrace",
+    "Emulator",
+    "Imm",
+    "MicroOpInjector",
+    "Reg",
+    "Translator",
+    "Uop",
+    "UopOp",
+    "UReg",
+    "mem",
+    "__version__",
+]

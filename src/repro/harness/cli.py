@@ -1,0 +1,69 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro.harness table1
+    python -m repro.harness fig6 table3
+    python -m repro.harness all --scale 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import figures, report
+
+EXPERIMENTS = ("table1", "table2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "table3")
+
+
+def _render(name: str, matrix: figures.ResultMatrix) -> str:
+    if name == "table1":
+        return report.format_table1(figures.run_table1(matrix))
+    if name == "table2":
+        return "Table 2: processor configuration\n" + figures.run_table2()
+    if name == "fig2":
+        from repro.harness.fig2 import figure2_report
+
+        return figure2_report()
+    if name == "fig6":
+        return report.format_fig6(figures.run_fig6(matrix))
+    if name in ("fig7", "fig8"):
+        workloads = figures.PAPER_ORDER[:7] if name == "fig7" else figures.PAPER_ORDER[7:]
+        return report.format_fig7_8(figures.run_fig7_8(matrix, workloads))
+    if name == "fig9":
+        return report.format_fig9(figures.run_fig9(matrix))
+    if name == "fig10":
+        return report.format_fig10(figures.run_fig10(matrix))
+    if name == "table3":
+        return report.format_table3(figures.run_table3(matrix))
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=EXPERIMENTS + ("all",),
+        help="which tables/figures to regenerate",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=None, help="workload scale factor"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="workload data seed")
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    matrix = figures.ResultMatrix(scale=args.scale, seed=args.seed)
+    for name in names:
+        print(_render(name, matrix))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Experiment runner: one (workload, configuration) simulation.
+
+The four configurations of Figure 6:
+
+* ``IC``  — conventional ICache front end;
+* ``TC``  — trace cache (fill unit, non-atomic lines);
+* ``RP``  — basic rePLay (frames, no optimization);
+* ``RPO`` — rePLay with the optimization engine.
+
+``run_experiment`` wires the Micro-Op Injector, the chosen sequencer, and
+the timing model together and returns an :class:`ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.trace.injector import MicroOpInjector
+from repro.trace.stream import DynamicTrace
+from repro.optimizer.pipeline import FrameOptimizer, OptimizerConfig
+from repro.replay.constructor import ConstructorConfig
+from repro.replay.sequencer import ICacheSequencer, RePLaySequencer, SequencerStats
+from repro.timing.config import ProcessorConfig, default_config, large_icache_config
+from repro.timing.pipeline import PipelineModel, SimResult
+from repro.tracecache.sequencer import TraceCacheSequencer
+from repro.verify.verifier import StateVerifier
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One named processor/front-end configuration."""
+
+    name: str
+    frontend: str  # 'icache' | 'tcache' | 'replay'
+    optimize: bool = False
+    optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
+    constructor: ConstructorConfig = field(default_factory=ConstructorConfig)
+    processor: ProcessorConfig = field(default_factory=default_config)
+    verify: bool = False
+
+    def with_optimizer(self, optimizer: OptimizerConfig) -> "ExperimentConfig":
+        return replace(self, optimizer=optimizer)
+
+
+#: The paper's four headline configurations (Figure 6).  ``IC64`` is the
+#: 64kB-ICache reference mentioned in §5.3.
+CONFIGS: dict[str, ExperimentConfig] = {
+    "IC": ExperimentConfig(name="IC", frontend="icache"),
+    "IC64": ExperimentConfig(
+        name="IC64", frontend="icache", processor=large_icache_config()
+    ),
+    "TC": ExperimentConfig(name="TC", frontend="tcache"),
+    "RP": ExperimentConfig(name="RP", frontend="replay", optimize=False),
+    "RPO": ExperimentConfig(name="RPO", frontend="replay", optimize=True),
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one run."""
+
+    config_name: str
+    workload: str
+    sim: SimResult
+    sequencer_stats: SequencerStats | None = None
+    optimizer_totals: object | None = None
+    uops_per_x86: float = 0.0
+    frames_verified: int = 0
+
+    @property
+    def ipc_x86(self) -> float:
+        return self.sim.ipc_x86
+
+    @property
+    def uop_reduction(self) -> float:
+        """Dynamic uop reduction (Table 3 'Micro-ops Removed')."""
+        if self.sequencer_stats is None:
+            return 0.0
+        return self.sequencer_stats.dynamic_uop_reduction
+
+    @property
+    def load_reduction(self) -> float:
+        """Dynamic load reduction (Table 3 'Loads Removed')."""
+        if self.sequencer_stats is None:
+            return 0.0
+        return self.sequencer_stats.dynamic_load_reduction
+
+    @property
+    def coverage(self) -> float:
+        return self.sim.coverage
+
+
+def run_experiment(
+    trace: DynamicTrace,
+    config: ExperimentConfig,
+    workload_name: str | None = None,
+) -> ExperimentResult:
+    """Simulate one workload trace under one configuration."""
+    injector = MicroOpInjector()
+    injected = injector.inject_trace(trace)
+
+    verifier = StateVerifier() if (config.verify and config.optimize) else None
+    if config.frontend == "icache":
+        sequencer = ICacheSequencer(injected, config.processor)
+    elif config.frontend == "tcache":
+        sequencer = TraceCacheSequencer(injected, config.processor)
+    elif config.frontend == "replay":
+        optimizer = FrameOptimizer(config.optimizer) if config.optimize else None
+        sequencer = RePLaySequencer(
+            injected,
+            config.processor,
+            optimizer,
+            constructor_config=config.constructor,
+            verifier=verifier,
+        )
+    else:
+        raise ValueError(f"unknown frontend {config.frontend!r}")
+
+    pipeline = PipelineModel(config.processor)
+    sim = pipeline.simulate(sequencer)
+
+    result = ExperimentResult(
+        config_name=config.name,
+        workload=workload_name or trace.name,
+        sim=sim,
+        uops_per_x86=injector.uops_per_x86,
+    )
+    if isinstance(sequencer, RePLaySequencer):
+        result.sequencer_stats = sequencer.stats
+        result.optimizer_totals = sequencer.queue.totals
+        if verifier is not None:
+            result.frames_verified = verifier.instances_checked
+    elif isinstance(sequencer, ICacheSequencer):
+        result.sequencer_stats = sequencer.stats
+    return result
+
+
+def run_configs(
+    trace: DynamicTrace,
+    configs: list[ExperimentConfig],
+    workload_name: str | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run several configurations over one trace."""
+    return {
+        config.name: run_experiment(trace, config, workload_name)
+        for config in configs
+    }

@@ -1,0 +1,23 @@
+"""Individual optimization passes (paper §3, §6.4)."""
+
+from repro.optimizer.passes.base import OptContext, Pass, PassStats
+from repro.optimizer.passes.constant_propagation import ConstantPropagation
+from repro.optimizer.passes.cse import CommonSubexpression
+from repro.optimizer.passes.dead_code import DeadCodeElimination
+from repro.optimizer.passes.nop_removal import NopRemoval
+from repro.optimizer.passes.reassociation import Reassociation
+from repro.optimizer.passes.store_forwarding import StoreForwarding
+from repro.optimizer.passes.value_assertion import ValueAssertion
+
+__all__ = [
+    "CommonSubexpression",
+    "ConstantPropagation",
+    "DeadCodeElimination",
+    "NopRemoval",
+    "OptContext",
+    "Pass",
+    "PassStats",
+    "Reassociation",
+    "StoreForwarding",
+    "ValueAssertion",
+]

@@ -1,0 +1,168 @@
+"""Common-subexpression elimination, including redundant-load elimination
+(paper §3.4, §6.4 "no CSE").
+
+Value-numbers pure operations and removes later duplicates.  For loads —
+the pass's primary payoff on x86, where unrolled loops re-load the same
+location — a later load of a symbolically identical address is replaced
+by the earlier load's value, provided no intervening store can alias.
+When an intervening store's relationship is statically unknown but the
+constructing execution observed no alias, the optimizer *speculates*: the
+load is removed and the intervening stores are marked unsafe (§3.4).
+
+Flag-writing duplicates are removed only when their flag consumers can be
+soundly rewired: identical ops on identical operands produce identical
+flag words, so flag uses of the duplicate move to the original.
+"""
+
+from __future__ import annotations
+
+from repro.uops.uop import UopOp
+from repro.optimizer.buffer import OptimizationBuffer
+from repro.optimizer.optuop import DefRef, OptUop
+from repro.optimizer.passes.base import OptContext, Pass
+from repro.optimizer.alias import AliasClass, classify_alias, observed_disjoint, same_address
+
+_PURE_OPS = frozenset(
+    {
+        UopOp.LIMM,
+        UopOp.ADD,
+        UopOp.SUB,
+        UopOp.AND,
+        UopOp.OR,
+        UopOp.XOR,
+        UopOp.SHL,
+        UopOp.SHR,
+        UopOp.SAR,
+        UopOp.MUL,
+        UopOp.NEG,
+        UopOp.NOT,
+        UopOp.SEXT,
+        UopOp.LEA,
+    }
+)
+
+
+def _value_key(uop: OptUop):
+    """Hashable identity of a pure op's value (operands + immediates)."""
+    key = [uop.op, uop.src_a, uop.src_b, uop.imm, uop.scale, uop.size]
+    if uop.writes_flags and uop.reads_flags:
+        # CF flows through INC/DEC-style ops (and whole flag words through
+        # possibly-zero-count shifts): the flag *output* depends on the
+        # incoming flags definition, so it is part of the identity.
+        key.append(("flags-in", uop.flags_src))
+    return tuple(key)
+
+
+class CommonSubexpression(Pass):
+    name = "cse"
+
+    def run(self, buf: OptimizationBuffer, ctx: OptContext) -> int:
+        changes = 0
+        changes += self._cse_alu(buf, ctx)
+        changes += self._eliminate_redundant_loads(buf, ctx)
+        return changes
+
+    # ----------------------------------------------------------- ALU CSE
+
+    def _cse_alu(self, buf: OptimizationBuffer, ctx: OptContext) -> int:
+        changes = 0
+        seen: dict[tuple, int] = {}
+        for slot in buf.valid_slots():
+            uop = buf.uops[slot]
+            if uop.op not in _PURE_OPS:
+                continue
+            key = _value_key(uop)
+            original = seen.get(key)
+            if original is None or not buf.uops[original].valid:
+                seen[key] = slot
+                continue
+            if not ctx.can_fold(buf, original, slot):
+                continue
+            if uop.writes_flags:
+                original_uop = buf.uops[original]
+                if not original_uop.writes_flags:
+                    if uop.reads_flags:
+                        # Flag output depends on incoming flags (INC/DEC,
+                        # possibly-zero-count shifts): the original would
+                        # compute it from a different flag context.
+                        continue
+                    # Promote the original to flag producer: identical op
+                    # and operands yield the identical flag word.
+                    original_uop.writes_flags = True
+                # Flag consumers (and live-out) read the original instead.
+                buf.replace_flags_uses(slot, original)
+                uop.writes_flags = False
+            buf.replace_all_uses(slot, DefRef(original))
+            if ctx.value_dead(buf, slot) and ctx.flags_dead(buf, slot):
+                buf.invalidate(slot)
+            changes += 1
+        return changes
+
+    # ----------------------------------------------------- redundant loads
+
+    def _eliminate_redundant_loads(
+        self, buf: OptimizationBuffer, ctx: OptContext
+    ) -> int:
+        changes = 0
+        mem_slots = buf.mem_slots()
+        for position, slot in enumerate(mem_slots):
+            load = buf.uops[slot]
+            if not load.is_load or not load.valid:
+                continue
+            match = self._find_covering_load(buf, ctx, mem_slots, position)
+            if match is None:
+                continue
+            original_slot, speculative_stores = match
+            for store_slot in speculative_stores:
+                store = buf.uops[store_slot]
+                if not store.unsafe:
+                    store.unsafe = True
+                    ctx.stats.stores_marked_unsafe += 1
+                store.unsafe_guards.append(original_slot)
+            buf.replace_all_uses(slot, DefRef(original_slot))
+            buf.invalidate(slot)
+            ctx.stats.loads_removed += 1
+            if speculative_stores:
+                ctx.stats.loads_removed_speculatively += 1
+            changes += 1
+        return changes
+
+    def _find_covering_load(
+        self,
+        buf: OptimizationBuffer,
+        ctx: OptContext,
+        mem_slots: list[int],
+        position: int,
+    ) -> tuple[int, list[int]] | None:
+        """Walk earlier memory uops looking for an identical prior load.
+
+        Returns (covering load slot, stores to mark unsafe) or None.
+        """
+        load = buf.uops[mem_slots[position]]
+        speculative: list[int] = []
+        for earlier_slot in reversed(mem_slots[:position]):
+            earlier = buf.uops[earlier_slot]
+            if not earlier.valid:
+                continue
+            if earlier.is_load:
+                if (
+                    same_address(earlier, load)
+                    and earlier.sign_extend == load.sign_extend
+                    and ctx.can_fold(buf, earlier_slot, load.slot)
+                ):
+                    return earlier_slot, speculative
+                continue
+            #
+
+            verdict = classify_alias(earlier, load)
+            if verdict is AliasClass.NO:
+                continue
+            if verdict is AliasClass.MUST:
+                return None  # value changed (store forwarding's job)
+            # MAY alias: speculate past it if the constructing execution
+            # observed disjoint addresses, else give up.
+            if ctx.speculation and observed_disjoint(earlier, load):
+                speculative.append(earlier_slot)
+                continue
+            return None
+        return None

@@ -1,0 +1,47 @@
+"""Dead-code elimination (paper §3.1).
+
+Removes uops whose value has no consumers and is not bound to any
+live-out register, and whose flag output (if any) is likewise dead.  All
+other optimizations "leave dead code" behind (paper §6.4) and rely on
+this pass, so — like the paper's ablation study — it is enabled in every
+configuration.
+
+Stores, assertions, and control uops are never dead: stores have memory
+side effects, assertions guard the frame's speculation, and the frame's
+exit branch defines the successor.
+"""
+
+from __future__ import annotations
+
+from repro.uops.uop import UopOp
+from repro.optimizer.buffer import OptimizationBuffer
+from repro.optimizer.passes.base import OptContext, Pass
+
+_SIDE_EFFECT_OPS = frozenset(
+    {UopOp.STORE, UopOp.ASSERT, UopOp.ASSERT_CMP, UopOp.BR, UopOp.JMP, UopOp.JMPI}
+)
+
+
+class DeadCodeElimination(Pass):
+    name = "dce"
+
+    def run(self, buf: OptimizationBuffer, ctx: OptContext) -> int:
+        changes = 0
+        removed = True
+        while removed:
+            removed = False
+            protected = ctx.protected_values(buf)
+            flags_protected = ctx.protected_flags(buf)
+            for slot in reversed(buf.valid_slots()):
+                uop = buf.uops[slot]
+                if uop.op in _SIDE_EFFECT_OPS:
+                    continue
+                if not buf.value_dead(slot, protected):
+                    continue
+                if not buf.flags_dead(slot, flags_protected):
+                    continue
+                buf.invalidate(slot)
+                ctx.stats.uops_removed += 1
+                removed = True
+                changes += 1
+        return changes

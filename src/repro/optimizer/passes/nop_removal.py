@@ -1,0 +1,25 @@
+"""NOP removal (paper §6.4, "no NOP").
+
+Removes NOP uops and unconditional direct jumps within the frame: a frame
+embodies a single control path, so intra-frame direct jumps carry no
+information — the sequencer already knows the frame's successor.
+"""
+
+from __future__ import annotations
+
+from repro.uops.uop import UopOp
+from repro.optimizer.buffer import OptimizationBuffer
+from repro.optimizer.passes.base import OptContext, Pass
+
+
+class NopRemoval(Pass):
+    name = "nop"
+
+    def run(self, buf: OptimizationBuffer, ctx: OptContext) -> int:
+        changes = 0
+        for slot in buf.valid_slots():
+            uop = buf.uops[slot]
+            if uop.op is UopOp.NOP or uop.op is UopOp.JMP:
+                buf.invalidate(slot)
+                changes += 1
+        return changes

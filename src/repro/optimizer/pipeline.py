@@ -1,0 +1,137 @@
+"""The rePLay optimization engine: pass scheduling and statistics.
+
+Runs the seven optimizations over a frame's optimization buffer until a
+fixed point (the paper notes the passes are synergistic — reassociation
+exposes CSE/SF opportunities, every pass leaves dead code for DCE).  Each
+pass can be disabled individually to reproduce the Figure 10 ablation;
+dead-code elimination is always enabled, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.optimizer.buffer import OptimizationBuffer
+from repro.optimizer.passes.base import OptContext, PassStats
+from repro.optimizer.passes.nop_removal import NopRemoval
+from repro.optimizer.passes.constant_propagation import ConstantPropagation
+from repro.optimizer.passes.reassociation import Reassociation
+from repro.optimizer.passes.cse import CommonSubexpression
+from repro.optimizer.passes.store_forwarding import StoreForwarding
+from repro.optimizer.passes.value_assertion import ValueAssertion
+from repro.optimizer.passes.dead_code import DeadCodeElimination
+
+
+@dataclass
+class OptimizerConfig:
+    """Optimization-engine configuration.
+
+    The six optional passes correspond to the Figure 10 ablation legend:
+    ASST, CP, CSE, NOP, RA, SF.  ``scope`` selects frame-level vs
+    intra-block optimization (Figure 9).  ``speculation`` enables the
+    unsafe-store memory optimizations (§3.4).
+    """
+
+    enable_nop: bool = True
+    enable_cp: bool = True
+    enable_cse: bool = True
+    enable_ra: bool = True
+    enable_sf: bool = True
+    enable_asst: bool = True
+    speculation: bool = True
+    scope: str = "frame"  # 'frame' | 'inter' | 'block'
+    max_iterations: int = 4
+    # Hardware-model parameters (paper §5.1.4): a pipelined optimizer with
+    # a variable latency of 10 cycles per uop and depth 3.
+    cycles_per_uop: int = 10
+    pipeline_depth: int = 3
+
+    def disabled(self, name: str) -> "OptimizerConfig":
+        """Copy with one optimization turned off (Figure 10 trials)."""
+        from dataclasses import replace
+
+        flag = {
+            "asst": "enable_asst",
+            "cp": "enable_cp",
+            "cse": "enable_cse",
+            "nop": "enable_nop",
+            "ra": "enable_ra",
+            "sf": "enable_sf",
+        }[name]
+        return replace(self, **{flag: False})
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of optimizing one frame."""
+
+    uops_before: int
+    uops_after: int
+    loads_before: int
+    loads_after: int
+    stats: PassStats
+    optimization_cycles: int = 0
+
+    @property
+    def uops_removed(self) -> int:
+        return self.uops_before - self.uops_after
+
+    @property
+    def loads_removed(self) -> int:
+        return self.loads_before - self.loads_after
+
+    @property
+    def reduction(self) -> float:
+        if not self.uops_before:
+            return 0.0
+        return self.uops_removed / self.uops_before
+
+
+class FrameOptimizer:
+    """Applies the optimization passes to frames."""
+
+    def __init__(self, config: OptimizerConfig | None = None) -> None:
+        self.config = config or OptimizerConfig()
+        self._passes = self._build_passes()
+
+    def _build_passes(self) -> list:
+        cfg = self.config
+        passes = []
+        if cfg.enable_nop:
+            passes.append(NopRemoval())
+        if cfg.enable_cp:
+            passes.append(ConstantPropagation())
+        if cfg.enable_ra:
+            passes.append(Reassociation())
+        if cfg.enable_cse:
+            passes.append(CommonSubexpression())
+        if cfg.enable_sf:
+            passes.append(StoreForwarding())
+        if cfg.enable_asst:
+            passes.append(ValueAssertion())
+        passes.append(DeadCodeElimination())  # always enabled (paper §6.4)
+        return passes
+
+    def optimize(self, buffer: OptimizationBuffer) -> OptimizationResult:
+        """Run the pass pipeline on a remapped frame to a fixed point."""
+        ctx = OptContext(
+            scope=self.config.scope,
+            speculation=self.config.speculation,
+        )
+        uops_before = buffer.valid_count()
+        loads_before = buffer.load_count()
+        for _ in range(self.config.max_iterations):
+            ctx.stats.iterations += 1
+            total = 0
+            for pass_obj in self._passes:
+                total += pass_obj(buffer, ctx)
+            if not total:
+                break
+        return OptimizationResult(
+            uops_before=uops_before,
+            uops_after=buffer.valid_count(),
+            loads_before=loads_before,
+            loads_after=buffer.load_count(),
+            stats=ctx.stats,
+            optimization_cycles=self.config.cycles_per_uop * uops_before,
+        )

@@ -1,0 +1,28 @@
+"""The rePLay engine: frames, constructor, frame cache, sequencers."""
+
+from repro.replay.constructor import (
+    BranchBiasTable,
+    ConstructorConfig,
+    FrameConstructor,
+)
+from repro.replay.frame import Frame
+from repro.replay.frame_cache import FrameCache
+from repro.replay.optqueue import OptimizationQueue, OptimizerTotals
+from repro.replay.sequencer import (
+    ICacheSequencer,
+    RePLaySequencer,
+    SequencerStats,
+)
+
+__all__ = [
+    "BranchBiasTable",
+    "ConstructorConfig",
+    "Frame",
+    "FrameCache",
+    "FrameConstructor",
+    "ICacheSequencer",
+    "OptimizationQueue",
+    "OptimizerTotals",
+    "RePLaySequencer",
+    "SequencerStats",
+]

@@ -1,0 +1,302 @@
+"""Sequencers: the fetch-source decision logic (paper §2, Figure 5).
+
+``ICacheSequencer`` models a conventional front end.  ``RePLaySequencer``
+couples the frame constructor, optimization engine, frame cache, and the
+recovery model: at each fetch point it probes the frame cache; a hit
+dispatches the frame, and the dynamic instance either commits (its path
+matches and no unsafe store aliases) or fires, rolling back and
+re-executing the region from the ICache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.injector import InjectedInstruction
+from repro.replay.constructor import ConstructorConfig, FrameConstructor
+from repro.replay.fetch_groups import branch_event_for, build_icache_block
+from repro.replay.frame import Frame
+from repro.replay.frame_cache import FrameCache
+from repro.replay.optqueue import OptimizationQueue
+from repro.optimizer.pipeline import FrameOptimizer
+from repro.timing.config import ProcessorConfig
+from repro.timing.pipeline import BranchEvent, FetchBlock
+from repro.verify.state import ArchTracker
+from repro.verify.verifier import StateVerifier
+
+
+@dataclass
+class SequencerStats:
+    """Dynamic-stream accounting used for Table 3."""
+
+    raw_uops_total: int = 0  # uops the injector would supply for all x86
+    raw_loads_total: int = 0
+    frame_raw_uops: int = 0  # original uops of regions covered by frames
+    frame_fetched_uops: int = 0  # uops actually fetched for those regions
+    frame_raw_loads: int = 0
+    frame_fetched_loads: int = 0
+    frame_dispatches: int = 0
+    frame_aborts: int = 0
+    unsafe_aborts: int = 0
+
+    @property
+    def dynamic_uop_reduction(self) -> float:
+        """Fraction of all dynamic uops removed by optimization (Table 3)."""
+        if not self.raw_uops_total:
+            return 0.0
+        return (self.frame_raw_uops - self.frame_fetched_uops) / self.raw_uops_total
+
+    @property
+    def dynamic_load_reduction(self) -> float:
+        if not self.raw_loads_total:
+            return 0.0
+        return (
+            self.frame_raw_loads - self.frame_fetched_loads
+        ) / self.raw_loads_total
+
+
+class ICacheSequencer:
+    """Conventional fetch: everything comes from the instruction cache."""
+
+    def __init__(
+        self, injected: list[InjectedInstruction], config: ProcessorConfig
+    ) -> None:
+        self.injected = injected
+        self.config = config
+        self.index = 0
+        self.stats = SequencerStats()
+        for instr in injected:
+            self.stats.raw_uops_total += len(instr.uops)
+            self.stats.raw_loads_total += sum(1 for u in instr.uops if u.is_load)
+
+    def next_block(self, cycle: int) -> FetchBlock | None:
+        if self.index >= len(self.injected):
+            return None
+        block, count = build_icache_block(self.injected, self.index, self.config)
+        self.index += count
+        return block
+
+
+class RePLaySequencer(ICacheSequencer):
+    """Frame-cache-enabled fetch with construction, optimization, recovery."""
+
+    #: Evict a frame once its fires exceed its commits by this margin.
+    FIRE_EVICTION_MARGIN = 4
+
+    def __init__(
+        self,
+        injected: list[InjectedInstruction],
+        config: ProcessorConfig,
+        optimizer: FrameOptimizer | None,
+        constructor_config: ConstructorConfig | None = None,
+        verifier: StateVerifier | None = None,
+    ) -> None:
+        super().__init__(injected, config)
+        self.constructor = FrameConstructor(constructor_config)
+        self.frame_cache = FrameCache(config.frame_cache_uops)
+        cycles_per_uop = 10
+        depth = 3
+        if optimizer is not None:
+            cycles_per_uop = optimizer.config.cycles_per_uop
+            depth = optimizer.config.pipeline_depth
+        self.queue = OptimizationQueue(
+            self.frame_cache, optimizer, cycles_per_uop=cycles_per_uop, depth=depth
+        )
+        self.verifier = verifier
+        self.tracker = ArchTracker() if verifier is not None else None
+        #: After a fire, the aborted frame's original instructions execute
+        #: from the ICache (paper §3.4); no frame dispatch until this index.
+        self._icache_until = 0
+        self._verified_paths: set[tuple] = set()
+
+    # ------------------------------------------------------------- fetch
+
+    def next_block(self, cycle: int) -> FetchBlock | None:
+        if self.index >= len(self.injected):
+            return None
+        self.queue.drain(cycle)
+        pc = self.injected[self.index].record.pc
+        frame = None
+        if self.index >= self._icache_until:
+            frame = self.frame_cache.lookup(pc)
+        if frame is not None and frame.uop_count:
+            if frame.cooldown > 0:
+                frame.cooldown -= 1
+            elif self._instance_commits(frame):
+                return self._dispatch_frame(frame, cycle)
+            else:
+                return self._dispatch_firing_frame(frame)
+        probe = (
+            self.frame_cache.contains if self.index >= self._icache_until else None
+        )
+        block, count = build_icache_block(
+            self.injected, self.index, self.config, stop_probe=probe
+        )
+        self._retire_region(count, cycle)
+        return block
+
+    # ------------------------------------------------------- frame checks
+
+    def _instance_commits(self, frame: Frame) -> bool:
+        """Path match plus unsafe-store alias check for this instance."""
+        injected = self.injected
+        base = self.index
+        if base + frame.x86_count > len(injected):
+            return False
+        for offset, pc in enumerate(frame.x86_pcs):
+            if injected[base + offset].record.pc != pc:
+                return False
+        if frame.always_fires:
+            return False
+        return not self._unsafe_store_conflict(frame)
+
+    def _unsafe_store_conflict(self, frame: Frame) -> bool:
+        """Unsafe-store alias check (paper §3.4).
+
+        The paper describes comparing an unsafe store against *all* prior
+        memory transactions; we check the speculation's actual premise —
+        the unsafe store must not touch the bytes whose forwarded value it
+        was speculated not to clobber (the covering load/store of each
+        removed load).  The blanket rule aborts constantly on kernels
+        that legitimately revisit a table inside one frame, which
+        contradicts the paper's observation that speculatively removed
+        loads "almost never cause frames to abort"; see DESIGN.md.
+        """
+        if frame.buffer is None:
+            return False
+        mem_uops = frame.kept_mem_uops()
+        guarded = [u for u in mem_uops if u.is_store and u.unsafe]
+        if not guarded:
+            return False
+        buffer = frame.buffer
+        for store in guarded:
+            address = self._dynamic_address(frame, store)
+            if address is None:
+                continue
+            for guard_slot in store.unsafe_guards:
+                guard = buffer.uops[guard_slot]
+                guard_address = self._dynamic_address(frame, guard)
+                if guard_address is None:
+                    continue
+                if (
+                    address < guard_address + guard.size
+                    and guard_address < address + store.size
+                ):
+                    self.stats.unsafe_aborts += 1
+                    return True
+        return False
+
+    def _dynamic_address(self, frame: Frame, uop) -> int | None:
+        """Current-instance address of a frame memory uop (via its mem key)."""
+        if uop.mem_key is None:
+            return uop.observed_address
+        x86_index, mem_index = uop.mem_key
+        record = self.injected[self.index + x86_index].record
+        if mem_index >= len(record.mem_ops):
+            return uop.observed_address
+        return record.mem_ops[mem_index].address
+
+    # --------------------------------------------------------- dispatch
+
+    def _frame_addresses(self, frame: Frame, uops) -> list[int | None]:
+        addresses: list[int | None] = []
+        for uop in uops:
+            if uop.is_mem:
+                addresses.append(self._dynamic_address(frame, uop))
+            else:
+                addresses.append(None)
+        return addresses
+
+    def _exit_event(self, frame: Frame) -> list[BranchEvent]:
+        """Prediction event for the frame's exit branch, if it kept one."""
+        last_instr = self.injected[self.index + frame.x86_count - 1]
+        kept = frame.kept_uops()
+        for position in range(len(kept) - 1, -1, -1):
+            if kept[position].is_control:
+                event = branch_event_for(last_instr, 0)
+                if event is None:
+                    return []
+                event.uop_index = position
+                return [event]
+        return []
+
+    def _train_events(self, frame: Frame) -> list[BranchEvent]:
+        """Predictor-training events for the frame's internal transfers."""
+        events: list[BranchEvent] = []
+        for offset in range(frame.x86_count - 1):
+            instr = self.injected[self.index + offset]
+            if instr.record.instruction.is_branch:
+                event = branch_event_for(instr, 0)
+                if event is not None:
+                    events.append(event)
+        return events
+
+    def _dispatch_frame(self, frame: Frame, cycle: int) -> FetchBlock:
+        uops = frame.kept_uops()
+        addresses = self._frame_addresses(frame, uops)
+        events = self._exit_event(frame)
+        train_events = self._train_events(frame)
+        base = self.index
+        records = [
+            self.injected[base + k].record for k in range(frame.x86_count)
+        ]
+        if (
+            self.verifier is not None
+            and frame.opt_result is not None
+            and frame.path_key not in self._verified_paths
+        ):
+            self.verifier.verify_frame_instance(frame, records, self.tracker)
+            self._verified_paths.add(frame.path_key)
+        stats = self.stats
+        stats.frame_dispatches += 1
+        stats.frame_raw_uops += frame.raw_uop_count
+        stats.frame_fetched_uops += len(uops)
+        raw_loads = sum(1 for u in frame.dyn_uops if u.is_load)
+        stats.frame_raw_loads += raw_loads
+        stats.frame_fetched_loads += sum(1 for u in uops if u.is_load)
+        frame.commits += 1
+        self._retire_region(frame.x86_count, cycle)
+        return FetchBlock(
+            source="frame",
+            uops=uops,
+            addresses=addresses,
+            x86_count=frame.x86_count,
+            pc=frame.start_pc,
+            branch_events=events,
+            train_events=train_events,
+            frame=frame,
+        )
+
+    def _dispatch_firing_frame(self, frame: Frame) -> FetchBlock:
+        """This instance deviates from the frame's path: it fires."""
+        self.stats.frame_aborts += 1
+        frame.fires += 1
+        frame.cooldown = 4  # skip the next few dispatch opportunities
+        if frame.fires > frame.commits + self.FIRE_EVICTION_MARGIN:
+            self.frame_cache.evict(frame.start_pc)
+        # The aborted region re-executes from the ICache (paper §3.4).
+        self._icache_until = self.index + frame.x86_count
+        uops = frame.kept_uops()
+        return FetchBlock(
+            source="frame",
+            uops=uops,
+            addresses=[u.observed_address if u.is_mem else None for u in uops],
+            x86_count=0,  # nothing retires; the region re-executes next
+            pc=frame.start_pc,
+            fires=True,
+            frame=frame,
+        )
+
+    # --------------------------------------------------------- retirement
+
+    def _retire_region(self, count: int, cycle: int, construct: bool = True) -> None:
+        """Feed retired instructions to the tracker and frame constructor."""
+        for _ in range(count):
+            instr = self.injected[self.index]
+            if construct:
+                new_frame = self.constructor.retire(instr)
+                if new_frame is not None:
+                    self.queue.submit(new_frame, cycle)
+            if self.tracker is not None:
+                self.tracker.apply(instr.record)
+            self.index += 1

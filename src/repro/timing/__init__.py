@@ -1,0 +1,40 @@
+"""Timing model: processor config, caches, predictors, pipeline."""
+
+from repro.timing.caches import Cache, CacheHierarchy
+from repro.timing.config import (
+    CacheConfig,
+    ProcessorConfig,
+    default_config,
+    large_icache_config,
+)
+from repro.timing.pipeline import (
+    BINS,
+    BranchEvent,
+    FetchBlock,
+    PipelineModel,
+    SimResult,
+)
+from repro.timing.predictor import (
+    BranchTargetBuffer,
+    FrontEndPredictors,
+    GsharePredictor,
+    ReturnAddressStack,
+)
+
+__all__ = [
+    "BINS",
+    "BranchEvent",
+    "BranchTargetBuffer",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "FetchBlock",
+    "FrontEndPredictors",
+    "GsharePredictor",
+    "PipelineModel",
+    "ProcessorConfig",
+    "ReturnAddressStack",
+    "SimResult",
+    "default_config",
+    "large_icache_config",
+]

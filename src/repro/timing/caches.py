@@ -1,0 +1,74 @@
+"""Set-associative cache models with true-LRU replacement."""
+
+from __future__ import annotations
+
+from repro.timing.config import CacheConfig
+
+
+class Cache:
+    """A single cache level.  ``access`` returns hit/miss and fills on miss."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        if config.size_bytes % (config.line_bytes * config.associativity):
+            raise ValueError("cache size must be a multiple of line*assoc")
+        self.config = config
+        self.num_sets = config.size_bytes // (config.line_bytes * config.associativity)
+        self._line_shift = config.line_bytes.bit_length() - 1
+        if 1 << self._line_shift != config.line_bytes:
+            raise ValueError("line size must be a power of two")
+        # Per-set list of tags in LRU order (front = most recent).
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def line_of(self, address: int) -> int:
+        return address >> self._line_shift
+
+    def access(self, address: int) -> bool:
+        """Access one byte address; True on hit.  Misses allocate."""
+        line = self.line_of(address)
+        index = line % self.num_sets
+        ways = self._sets[index]
+        if line in ways:
+            ways.remove(line)
+            ways.insert(0, line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways.insert(0, line)
+        if len(ways) > self.config.associativity:
+            ways.pop()
+        return False
+
+    def access_range(self, address: int, size: int) -> bool:
+        """Access a byte range; True only if every line hits."""
+        first = self.line_of(address)
+        last = self.line_of(address + max(size, 1) - 1)
+        hit = True
+        for line in range(first, last + 1):
+            hit &= self.access(line << self._line_shift)
+        return hit
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+
+class CacheHierarchy:
+    """L1 + shared L2 + memory, returning total access latency."""
+
+    def __init__(
+        self, l1_config: CacheConfig, l2: Cache, memory_latency: int
+    ) -> None:
+        self.l1 = Cache(l1_config)
+        self.l2 = l2
+        self.memory_latency = memory_latency
+
+    def access(self, address: int, size: int = 1) -> int:
+        """Access and return the latency in cycles."""
+        latency = self.l1.config.hit_latency
+        if not self.l1.access_range(address, size):
+            latency += self.l2.config.hit_latency
+            if not self.l2.access_range(address, size):
+                latency += self.memory_latency
+        return latency

@@ -1,0 +1,99 @@
+"""Processor configuration (paper Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 4
+    hit_latency: int = 2
+
+
+@dataclass
+class ProcessorConfig:
+    """The paper's 8-wide deeply pipelined processor (Table 2).
+
+    ``branch_resolution_depth`` models the 15-cycle minimum between the
+    fetch of a branch and the earliest point of its execution.
+    """
+
+    fetch_width: int = 8  # uops per cycle
+    retire_width: int = 8
+    x86_decode_width: int = 4  # x86 instructions per cycle through decoders
+    window_size: int = 512
+    branch_resolution_depth: int = 15
+
+    simple_alus: int = 6
+    complex_alus: int = 2
+    fpus: int = 3
+    load_store_units: int = 4
+
+    ghr_bits: int = 18  # gshare history length
+    btb_entries: int = 4096
+    ras_depth: int = 16
+
+    icache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=8 * 1024, hit_latency=1)
+    )
+    dcache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=32 * 1024, hit_latency=2)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=512 * 1024, associativity=8, hit_latency=10
+        )
+    )
+    memory_latency: int = 50
+
+    frame_cache_uops: int = 16 * 1024  # ~64kB equivalent
+    cache_switch_penalty: int = 1  # Wait cycles between FCache and ICache
+
+    mul_latency: int = 4
+    div_latency: int = 20
+
+    def table2(self) -> str:
+        """Render the configuration as the paper's Table 2."""
+        rows = [
+            ("Pipeline", f"{self.fetch_width}-wide fetch/issue/retire"),
+            ("", f"x86 decoders: {self.x86_decode_width} per cycle"),
+            ("", f"{self.branch_resolution_depth} cycles (min) for BR resolution"),
+            ("Predictor", f"{self.ghr_bits}-bit gshare"),
+            ("Inst Window", f"{self.window_size} instructions"),
+            ("ExeUnits", f"{self.simple_alus} simple ALU"),
+            ("", f"{self.complex_alus} complex ALU"),
+            ("", f"{self.fpus} FPUs"),
+            ("", f"{self.load_store_units} load/store units"),
+            ("Frame/Trace", f"{self.frame_cache_uops // 1024}k micro-operations"),
+            ("Cache", "(approximately 64kB)"),
+            (
+                "L1 DCache",
+                f"{self.dcache.size_bytes // 1024}kB, "
+                f"{self.dcache.hit_latency} cycle hit",
+            ),
+            ("", "4 read and 4 write ports"),
+            (
+                "L2 Cache",
+                f"{self.l2.size_bytes // 1024}kB, {self.l2.hit_latency} cycle hit",
+            ),
+            ("Memory", f"{self.memory_latency} cycles"),
+        ]
+        width = max(len(label) for label, _ in rows)
+        return "\n".join(f"{label:<{width}}  {value}" for label, value in rows)
+
+
+def default_config() -> ProcessorConfig:
+    """The baseline configuration used throughout the evaluation."""
+    return ProcessorConfig()
+
+
+def large_icache_config() -> ProcessorConfig:
+    """The 64kB-ICache reference configuration (paper §5.3)."""
+    config = ProcessorConfig()
+    config.icache = CacheConfig(size_bytes=64 * 1024, hit_latency=1)
+    return config

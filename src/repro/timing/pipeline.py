@@ -1,0 +1,503 @@
+"""The 8-wide pipeline timing model (paper §5.1.2, §5.3).
+
+A scoreboard-style model of the paper's deeply pipelined 8-wide machine:
+
+* fetch delivers up to 8 uops/cycle from the active source (ICache paths
+  additionally decode at most 4 x86 instructions/cycle and break at taken
+  branches; frame/trace-cache paths stream straight through — the fetch-
+  bandwidth advantage that motivates rePLay);
+* every uop issues after its sources are ready, no earlier than
+  ``branch_resolution_depth`` cycles after fetch (modeling the deep
+  front end), onto a free functional unit of its class;
+* loads access the D-cache hierarchy; in-order retirement at 8/cycle
+  bounds the 512-entry window, so long-latency misses back up into
+  fetch stalls.
+
+Each fetch-engine cycle is tallied into one of the paper's seven bins
+(assert, mispredict, miss, stall, wait, frame, icache) exactly as in the
+Figure 7/8 breakdowns.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.uops.uop import Uop, UopOp, UReg
+from repro.optimizer.optuop import DefRef, LiveIn, OptUop
+from repro.timing.caches import Cache, CacheHierarchy
+from repro.timing.config import ProcessorConfig
+from repro.timing.predictor import FrontEndPredictors
+
+#: Cycle-accounting bins, in the paper's priority order.
+BINS = ("assert", "mispred", "miss", "stall", "wait", "frame", "icache")
+
+
+@dataclass
+class BranchEvent:
+    """A predictable control transfer within an ICache/trace-cache block."""
+
+    uop_index: int
+    kind: str  # 'cond' | 'call' | 'ret' | 'jmp' | 'jmpi'
+    pc: int
+    taken: bool = True
+    target: int = 0
+    return_address: int = 0
+
+
+@dataclass
+class FetchBlock:
+    """One unit of fetch handed to the timing model by a sequencer."""
+
+    source: str  # 'icache' | 'frame' | 'tcache'
+    uops: list  # dyn Uops (icache/tcache) or OptUops (frame)
+    addresses: list  # per-uop dynamic memory address (None for non-mem)
+    x86_count: int
+    pc: int
+    byte_start: int = 0
+    byte_end: int = 0
+    branch_events: list[BranchEvent] = field(default_factory=list)
+    #: control transfers embedded in a frame: they train the predictors
+    #: (keeping gshare history and the RAS consistent with the retired
+    #: stream) but carry no penalty — inside a frame they are assertions.
+    train_events: list[BranchEvent] = field(default_factory=list)
+    fires: bool = False  # frame instance whose assertion/unsafe store fires
+    frame: object | None = None
+
+
+@dataclass
+class SimResult:
+    """Aggregate outcome of one simulation run."""
+
+    cycles: int = 0
+    x86_retired: int = 0
+    uops_fetched: int = 0
+    loads_executed: int = 0
+    stores_executed: int = 0
+    bins: dict[str, int] = field(default_factory=lambda: {b: 0 for b in BINS})
+    frames_fetched: int = 0
+    frames_fired: int = 0
+    frame_x86_coverage: int = 0
+    branch_mispredicts: int = 0
+
+    @property
+    def ipc_x86(self) -> float:
+        """Retired x86 instructions per cycle (the paper's metric)."""
+        if not self.cycles:
+            return 0.0
+        return self.x86_retired / self.cycles
+
+    @property
+    def uop_ipc(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.uops_fetched / self.cycles
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of x86 instructions fetched from the frame/trace cache."""
+        if not self.x86_retired:
+            return 0.0
+        return self.frame_x86_coverage / self.x86_retired
+
+
+class PipelineModel:
+    """Cycle-accounting simulator for one run."""
+
+    #: extra cycles between detecting a firing assertion (at frame
+    #: readiness, the paper's pessimistic model) and restarting fetch.
+    RECOVERY_LATENCY = 5
+
+    def __init__(self, config: ProcessorConfig) -> None:
+        self.config = config
+        self.cycle = 0
+        self.result = SimResult()
+        self.predictors = FrontEndPredictors(config)
+        l2 = Cache(config.l2)
+        self.icache = CacheHierarchy(config.icache, l2, config.memory_latency)
+        self.dcache = CacheHierarchy(config.dcache, l2, config.memory_latency)
+        self._reg_ready: dict[int, int] = {}
+        self._flags_ready = 0
+        #: word-granular store-to-load dependence: a load cannot complete
+        #: before the last overlapping store's data is available (the
+        #: store-buffer bypass the paper calls out as expensive, §6.2).
+        self._mem_ready: dict[int, int] = {}
+        # Table 2: 4 load/store units with 4 read and 4 write D-cache
+        # ports — loads and stores do not contend with each other.
+        self._fu_caps = {
+            "simple": config.simple_alus,
+            "complex": config.complex_alus,
+            "fpu": config.fpus,
+            "load": config.load_store_units,
+            "store": config.load_store_units,
+        }
+        self._fu_used: dict[str, dict[int, int]] = {k: {} for k in self._fu_caps}
+        self._inflight: deque[int] = deque()  # retire times, non-decreasing
+        self._retire_cycle = 0
+        self._retire_count = 0
+        self._last_retire = 0
+        self._last_source: str | None = None
+
+    # ------------------------------------------------------------- public
+
+    def simulate(self, fetcher) -> SimResult:
+        """Drive ``fetcher.next_block(cycle)`` until it returns None."""
+        while True:
+            block = fetcher.next_block(self.cycle)
+            if block is None:
+                break
+            self._run_block(block)
+        self.cycle = max(self.cycle, self._last_retire)
+        self.result.cycles = self.cycle
+        self.result.branch_mispredicts = self.predictors.gshare.mispredictions
+        return self.result
+
+    # ------------------------------------------------------------ fetch
+
+    def _run_block(self, block: FetchBlock) -> None:
+        self._switch_source(block.source)
+        if block.source == "icache":
+            self._fetch_lines(block)
+        if block.source == "frame":
+            self.result.frames_fetched += 1
+        if block.fires:
+            self._run_firing_frame(block)
+            return
+        bin_name = "frame" if block.source in ("frame", "tcache") else "icache"
+        # Internal transfers precede the exit branch in program order, so
+        # they train the predictors before the exit event is evaluated.
+        for event in block.train_events:
+            self._train_predictors(event)
+        events = {e.uop_index: e for e in block.branch_events}
+        width = self.config.fetch_width
+        index = 0
+        n = len(block.uops)
+        frame_mode = block.source == "frame"
+        slot_values: dict[int, int] = {}
+        slot_flags: dict[int, int] = {}
+        while index < n:
+            chunk = min(width, n - index)
+            self._wait_for_window(chunk)
+            self.result.bins[bin_name] += 1
+            fetch_cycle = self.cycle
+            self.cycle += 1
+            for offset in range(chunk):
+                i = index + offset
+                if frame_mode:
+                    self._execute_opt_uop(
+                        block.uops[i],
+                        block.addresses[i],
+                        fetch_cycle,
+                        slot_values,
+                        slot_flags,
+                    )
+                else:
+                    complete = self._execute_dyn_uop(
+                        block.uops[i], block.addresses[i], fetch_cycle
+                    )
+                    event = events.get(i)
+                    if event is not None:
+                        self._handle_branch(event, complete)
+            index += chunk
+        if frame_mode and block.frame is not None:
+            self._commit_frame_live_outs(block.frame, slot_values, slot_flags)
+        if block.source in ("frame", "tcache"):
+            self.result.frame_x86_coverage += block.x86_count
+        self.result.uops_fetched += len(block.uops)
+        self.result.x86_retired += block.x86_count
+
+    def _switch_source(self, source: str) -> None:
+        if source == "tcache":
+            source = "frame"  # trace cache occupies the same slot as FCache
+        if self._last_source is not None and source != self._last_source:
+            self.result.bins["wait"] += self.config.cache_switch_penalty
+            self.cycle += self.config.cache_switch_penalty
+        self._last_source = source
+
+    def _fetch_lines(self, block: FetchBlock) -> None:
+        """Model instruction-cache misses for the block's byte footprint."""
+        size = max(1, block.byte_end - block.byte_start)
+        latency = self.icache.access(block.byte_start, size)
+        penalty = latency - self.config.icache.hit_latency
+        if penalty > 0:
+            self.result.bins["miss"] += penalty
+            self.cycle += penalty
+
+    def _wait_for_window(self, incoming: int) -> None:
+        """Stall fetch until the scheduling window has room."""
+        inflight = self._inflight
+        while inflight and inflight[0] <= self.cycle:
+            inflight.popleft()
+        while len(inflight) + incoming > self.config.window_size:
+            self.result.bins["stall"] += 1
+            self.cycle += 1
+            while inflight and inflight[0] <= self.cycle:
+                inflight.popleft()
+
+    # ------------------------------------------------------------ execute
+
+    def _fu_class(self, op: UopOp) -> str:
+        if op is UopOp.LOAD:
+            return "load"
+        if op is UopOp.STORE:
+            return "store"
+        if op in (UopOp.MUL, UopOp.DIVQ, UopOp.DIVR):
+            return "complex"
+        return "simple"
+
+    def _latency(self, op: UopOp, address, size: int) -> int:
+        if op is UopOp.LOAD:
+            self.result.loads_executed += 1
+            if address is not None:
+                return self.dcache.access(address, size)
+            return self.config.dcache.hit_latency
+        if op is UopOp.STORE:
+            self.result.stores_executed += 1
+            if address is not None:
+                self.dcache.access(address, size)  # allocate/fill
+            return 1
+        if op is UopOp.MUL:
+            return self.config.mul_latency
+        if op in (UopOp.DIVQ, UopOp.DIVR):
+            return self.config.div_latency
+        return 1
+
+    def _mem_words(self, address: int, size: int):
+        first = address >> 2
+        last = (address + max(size, 1) - 1) >> 2
+        return range(first, last + 1)
+
+    def _load_store_dependence(self, address, size: int, ready: int) -> int:
+        """Earliest time an overlapping store's data can be bypassed."""
+        if address is None or not self._mem_ready:
+            return ready
+        mem_ready = self._mem_ready
+        for word in self._mem_words(address, size):
+            t = mem_ready.get(word, 0)
+            if t > ready:
+                ready = t
+        return ready
+
+    def _record_store(self, address, size: int, complete: int) -> None:
+        if address is None:
+            return
+        mem_ready = self._mem_ready
+        for word in self._mem_words(address, size):
+            mem_ready[word] = complete
+        if len(mem_ready) > (1 << 16):
+            horizon = self.cycle
+            self._mem_ready = {
+                k: v for k, v in mem_ready.items() if v > horizon
+            }
+
+    def _issue(self, fu: str, ready: int) -> int:
+        used = self._fu_used[fu]
+        cap = self._fu_caps[fu]
+        t = ready
+        while used.get(t, 0) >= cap:
+            t += 1
+        used[t] = used.get(t, 0) + 1
+        if len(used) > 16384:
+            horizon = self.cycle
+            self._fu_used[fu] = {k: v for k, v in used.items() if k >= horizon}
+        return t
+
+    def _retire(self, complete: int) -> None:
+        time = max(complete + 1, self._retire_cycle)
+        if time > self._retire_cycle:
+            self._retire_cycle = time
+            self._retire_count = 1
+        else:
+            self._retire_count += 1
+            if self._retire_count > self.config.retire_width:
+                self._retire_cycle += 1
+                self._retire_count = 1
+                time = self._retire_cycle
+        self._inflight.append(time)
+        if time > self._last_retire:
+            self._last_retire = time
+
+    def _execute_dyn_uop(self, uop: Uop, address, fetch_cycle: int) -> int:
+        """Schedule one pre-rename uop; returns its completion cycle."""
+        ready = fetch_cycle + self.config.branch_resolution_depth
+        reg_ready = self._reg_ready
+        for src in (uop.src_a, uop.src_b, uop.src_data):
+            if src is not None:
+                t = reg_ready.get(src, 0)
+                if t > ready:
+                    ready = t
+        if (uop.cond is not None and uop.op in (UopOp.BR, UopOp.ASSERT)) or (
+            uop.preserves_cf
+        ):
+            if self._flags_ready > ready:
+                ready = self._flags_ready
+        if uop.op is UopOp.LOAD:
+            ready = self._load_store_dependence(address, uop.size, ready)
+        issue = self._issue(self._fu_class(uop.op), ready)
+        complete = issue + self._latency(uop.op, address, uop.size)
+        if uop.op is UopOp.STORE:
+            self._record_store(address, uop.size, complete)
+        if uop.dst is not None:
+            reg_ready[uop.dst] = complete
+        if uop.writes_flags:
+            self._flags_ready = complete
+        self._retire(complete)
+        return complete
+
+    def _execute_opt_uop(
+        self,
+        uop: OptUop,
+        address,
+        fetch_cycle: int,
+        slot_values: dict[int, int],
+        slot_flags: dict[int, int],
+    ) -> int:
+        """Schedule one remapped frame uop; returns its completion cycle."""
+        ready = fetch_cycle + self.config.branch_resolution_depth
+        for _, operand in uop.operands():
+            if isinstance(operand, DefRef):
+                t = slot_values.get(operand.slot, 0)
+            else:
+                t = self._reg_ready.get(operand.reg, 0)
+            if t > ready:
+                ready = t
+        if uop.reads_flags:
+            if uop.flags_src is None:
+                t = self._flags_ready
+            else:
+                t = slot_flags.get(uop.flags_src, 0)
+            if t > ready:
+                ready = t
+        if uop.op is UopOp.LOAD:
+            ready = self._load_store_dependence(address, uop.size, ready)
+        issue = self._issue(self._fu_class(uop.op), ready)
+        complete = issue + self._latency(uop.op, address, uop.size)
+        if uop.op is UopOp.STORE:
+            self._record_store(address, uop.size, complete)
+        slot_values[uop.slot] = complete
+        if uop.writes_flags:
+            slot_flags[uop.slot] = complete
+        self._retire(complete)
+        return complete
+
+    def _commit_frame_live_outs(
+        self, frame, slot_values: dict[int, int], slot_flags: dict[int, int]
+    ) -> None:
+        """Propagate frame-exit register availability to the outer map."""
+        buffer = frame.buffer
+        if buffer is None:
+            return
+        for reg, operand in buffer.live_out.items():
+            if isinstance(operand, DefRef):
+                self._reg_ready[reg] = slot_values.get(operand.slot, 0)
+            # LiveIn binding: availability time unchanged.
+        if buffer.flags_live_out_slot is not None:
+            self._flags_ready = slot_flags.get(
+                buffer.flags_live_out_slot, self._flags_ready
+            )
+
+    # ------------------------------------------------------------ control
+
+    def _handle_branch(self, event: BranchEvent, complete: int) -> None:
+        predictors = self.predictors
+        mispredicted = False
+        if event.kind == "cond":
+            correct = predictors.gshare.update(event.pc, event.taken)
+            if correct and event.taken:
+                # Direction right; the target still needs a BTB entry.
+                predicted_target = predictors.btb.predict(event.pc)
+                if predicted_target != event.target:
+                    mispredicted = True
+            elif not correct:
+                mispredicted = True
+            predictors.btb.update(event.pc, event.target)
+        elif event.kind == "call":
+            # Direct call: target encoded in the instruction, next-line
+            # prediction corrected at decode; only the RAS is affected.
+            predictors.ras.push(event.return_address)
+        elif event.kind == "callind":
+            predictors.ras.push(event.return_address)
+            predicted_target = predictors.btb.predict(event.pc)
+            if predicted_target != event.target:
+                mispredicted = True
+            predictors.btb.update(event.pc, event.target)
+        elif event.kind == "ret":
+            predicted = predictors.ras.pop()
+            if predicted != event.target:
+                mispredicted = True
+        elif event.kind == "jmpi":
+            predicted_target = predictors.btb.predict(event.pc)
+            if predicted_target != event.target:
+                mispredicted = True
+            predictors.btb.update(event.pc, event.target)
+        # direct 'jmp': next-line prediction, no penalty modeled
+        if mispredicted:
+            redirect = complete + 1
+            if redirect > self.cycle:
+                self.result.bins["mispred"] += redirect - self.cycle
+                self.cycle = redirect
+
+    def _train_predictors(self, event: BranchEvent) -> None:
+        """Penalty-free predictor update for frame-internal transfers."""
+        predictors = self.predictors
+        if event.kind == "cond":
+            predictors.gshare.update(event.pc, event.taken)
+            predictors.btb.update(event.pc, event.target)
+        elif event.kind in ("call", "callind"):
+            predictors.ras.push(event.return_address)
+            if event.kind == "callind":
+                predictors.btb.update(event.pc, event.target)
+        elif event.kind == "ret":
+            predictors.ras.pop()
+        elif event.kind == "jmpi":
+            predictors.btb.update(event.pc, event.target)
+
+    # ------------------------------------------------------------ firing
+
+    def _run_firing_frame(self, block: FetchBlock) -> None:
+        """A fetched frame whose assertion (or unsafe store) fires.
+
+        All cycles from the frame's fetch until recovery are Assert cycles
+        (paper §6.1); the paper's pessimistic model initiates recovery
+        only once the whole frame is ready to retire.  The frame's state
+        is rolled back, so no architectural availability times change and
+        no x86 instructions retire; the sequencer re-issues the region
+        from the ICache next.
+        """
+        self.result.frames_fired += 1
+        saved_regs = dict(self._reg_ready)
+        saved_flags = self._flags_ready
+        slot_values: dict[int, int] = {}
+        slot_flags: dict[int, int] = {}
+        width = self.config.fetch_width
+        last_complete = self.cycle
+        index = 0
+        n = len(block.uops)
+        while index < n:
+            chunk = min(width, n - index)
+            self._wait_for_window(chunk)
+            self.result.bins["assert"] += 1
+            fetch_cycle = self.cycle
+            self.cycle += 1
+            for offset in range(chunk):
+                uop = block.uops[index + offset]
+                complete = self._execute_opt_uop(
+                    uop,
+                    block.addresses[index + offset],
+                    fetch_cycle,
+                    slot_values,
+                    slot_flags,
+                )
+                if complete > last_complete:
+                    last_complete = complete
+            index += chunk
+        recovery = last_complete + self.RECOVERY_LATENCY
+        if recovery > self.cycle:
+            self.result.bins["assert"] += recovery - self.cycle
+            self.cycle = recovery
+        # Roll back: the frame's register effects are squashed.  (The
+        # squashed uops still drained through the window, so retirement
+        # bookkeeping is left alone.)
+        self._reg_ready = saved_regs
+        self._flags_ready = saved_flags
+        self.result.uops_fetched += n

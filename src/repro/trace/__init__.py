@@ -1,0 +1,27 @@
+"""Trace infrastructure: records, streams, and the Micro-Op Injector."""
+
+from repro.trace.injector import InjectedInstruction, InjectionError, MicroOpInjector
+from repro.trace.record import MemOp, TraceRecord
+from repro.trace.stream import DynamicTrace, TraceStats
+from repro.trace.tracefile import (
+    TraceFileError,
+    dump_trace,
+    load_trace,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "DynamicTrace",
+    "InjectedInstruction",
+    "InjectionError",
+    "MemOp",
+    "MicroOpInjector",
+    "TraceFileError",
+    "TraceRecord",
+    "TraceStats",
+    "dump_trace",
+    "load_trace",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,223 @@
+"""Trace-file serialization (the Trace Reader's on-disk side, paper §5.1.1).
+
+The paper's environment read hardware-generated trace files, each record
+carrying instruction data, register state changes, memory transactions,
+and branch information.  This module round-trips our
+:class:`~repro.trace.record.TraceRecord` streams through a compact
+line-oriented format, so traces can be captured once (the expensive
+emulation step) and replayed into many simulations — the same workflow
+the paper used.
+
+Format (one record per line, little interpretive overhead)::
+
+    R <pc> <next_pc> <flags|-> [w reg=value]* [m L|S addr size data]* [b 0|1]
+
+A header line carries the program's static instruction listing so the
+reader can reconstruct :class:`Instruction` objects without the original
+program object.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import IO, Iterable
+
+from repro.trace.record import MemOp, TraceRecord
+from repro.trace.stream import DynamicTrace
+from repro.x86.instructions import Cond, Imm, Instruction, Label, Mem, Mnemonic
+from repro.x86.registers import Reg
+
+FORMAT_VERSION = 1
+
+
+class TraceFileError(Exception):
+    """Raised on malformed trace files."""
+
+
+# --------------------------------------------------------------- writing
+
+
+def _encode_operand(operand) -> str:
+    if isinstance(operand, Reg):
+        return f"r{int(operand)}"
+    if isinstance(operand, Imm):
+        return f"i{operand.value}"
+    if isinstance(operand, Label):
+        return f"l{operand.name}"
+    if isinstance(operand, Mem):
+        base = int(operand.base) if operand.base is not None else -1
+        index = int(operand.index) if operand.index is not None else -1
+        return f"m{base},{index},{operand.scale},{operand.disp},{operand.size}"
+    raise TraceFileError(f"cannot encode operand {operand!r}")
+
+
+def _decode_operand(token: str):
+    kind, body = token[0], token[1:]
+    if kind == "r":
+        return Reg(int(body))
+    if kind == "i":
+        return Imm(int(body))
+    if kind == "l":
+        return Label(body)
+    if kind == "m":
+        base, index, scale, disp, size = (int(x) for x in body.split(","))
+        return Mem(
+            base=Reg(base) if base >= 0 else None,
+            index=Reg(index) if index >= 0 else None,
+            scale=scale,
+            disp=disp,
+            size=size,
+        )
+    raise TraceFileError(f"cannot decode operand {token!r}")
+
+
+def _instruction_header(instructions: dict[int, Instruction]) -> Iterable[str]:
+    for address in sorted(instructions):
+        instr = instructions[address]
+        operands = " ".join(_encode_operand(op) for op in instr.operands)
+        cond = instr.cond.value if instr.cond else "-"
+        targets = ",".join(
+            f"{name}={value}" for name, value in sorted(instr.label_targets.items())
+        )
+        yield (
+            f"I {address} {instr.length} {instr.mnemonic.value} {cond} "
+            f"[{operands}] [{targets}]"
+        )
+
+
+def write_trace(trace: DynamicTrace, stream: IO[str]) -> None:
+    """Serialize a dynamic trace (records + static instructions)."""
+    instructions: dict[int, Instruction] = {}
+    for record in trace:
+        instructions.setdefault(record.pc, record.instruction)
+    stream.write(f"TRACE {FORMAT_VERSION} {trace.name} {len(trace)}\n")
+    for line in _instruction_header(instructions):
+        stream.write(line + "\n")
+    for record in trace:
+        parts = [
+            "R",
+            str(record.pc),
+            str(record.next_pc),
+            str(record.flags_after) if record.flags_after is not None else "-",
+        ]
+        for reg, value in record.reg_writes.items():
+            parts.append(f"w{int(reg)}={value}")
+        for mem_op in record.mem_ops:
+            kind = "S" if mem_op.is_store else "L"
+            parts.append(f"m{kind},{mem_op.address},{mem_op.size},{mem_op.data}")
+        if record.branch_taken is not None:
+            parts.append(f"b{int(record.branch_taken)}")
+        stream.write(" ".join(parts) + "\n")
+
+
+def dump_trace(trace: DynamicTrace, path: str) -> None:
+    """Write a trace to a file path."""
+    with open(path, "w") as stream:
+        write_trace(trace, stream)
+
+
+# --------------------------------------------------------------- reading
+
+
+def _parse_instruction(line: str) -> Instruction:
+    head, _, tail = line.partition("[")
+    fields = head.split()
+    address, length = int(fields[1]), int(fields[2])
+    mnemonic = Mnemonic(fields[3])
+    cond = None if fields[4] == "-" else Cond(fields[4])
+    operand_text, _, target_text = tail.partition("] [")
+    operands = tuple(
+        _decode_operand(token) for token in operand_text.split() if token
+    )
+    target_text = target_text.rstrip("]").strip()
+    targets = {}
+    if target_text:
+        for pair in target_text.split(","):
+            name, _, value = pair.partition("=")
+            targets[name] = int(value)
+    instr = Instruction(mnemonic=mnemonic, operands=operands, cond=cond)
+    instr.address = address
+    instr.length = length
+    instr.label_targets = targets
+    return instr
+
+
+def read_trace(stream: IO[str]) -> DynamicTrace:
+    """Deserialize a trace written by :func:`write_trace`."""
+    header = stream.readline().split()
+    if len(header) < 4 or header[0] != "TRACE":
+        raise TraceFileError("not a trace file")
+    version = int(header[1])
+    if version != FORMAT_VERSION:
+        raise TraceFileError(f"unsupported trace version {version}")
+    name = header[2]
+    expected = int(header[3])
+
+    instructions: dict[int, Instruction] = {}
+    records: list[TraceRecord] = []
+    for line in stream:
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("I "):
+            instr = _parse_instruction(line)
+            instructions[instr.address] = instr
+            continue
+        if not line.startswith("R "):
+            raise TraceFileError(f"unexpected line {line[:40]!r}")
+        fields = line.split()
+        pc, next_pc = int(fields[1]), int(fields[2])
+        flags = None if fields[3] == "-" else int(fields[3])
+        reg_writes: dict[Reg, int] = {}
+        mem_ops: list[MemOp] = []
+        branch_taken = None
+        for token in fields[4:]:
+            if token.startswith("w"):
+                reg, _, value = token[1:].partition("=")
+                reg_writes[Reg(int(reg))] = int(value)
+            elif token.startswith("m"):
+                kind, address, size, data = token[1:].split(",")
+                mem_ops.append(
+                    MemOp(
+                        is_store=kind == "S",
+                        address=int(address),
+                        size=int(size),
+                        data=int(data),
+                    )
+                )
+            elif token.startswith("b"):
+                branch_taken = bool(int(token[1:]))
+        try:
+            instruction = instructions[pc]
+        except KeyError:
+            raise TraceFileError(f"record references unknown pc {pc:#x}")
+        records.append(
+            TraceRecord(
+                pc=pc,
+                instruction=instruction,
+                next_pc=next_pc,
+                reg_writes=reg_writes,
+                flags_after=flags,
+                mem_ops=tuple(mem_ops),
+                branch_taken=branch_taken,
+            )
+        )
+    if len(records) != expected:
+        raise TraceFileError(
+            f"trace declares {expected} records but contains {len(records)}"
+        )
+    return DynamicTrace(records, name=name)
+
+
+def load_trace(path: str) -> DynamicTrace:
+    """Read a trace from a file path."""
+    with open(path) as stream:
+        return read_trace(stream)
+
+
+def roundtrip(trace: DynamicTrace) -> DynamicTrace:
+    """Serialize and deserialize in memory (testing convenience)."""
+    buffer = io.StringIO()
+    write_trace(trace, buffer)
+    buffer.seek(0)
+    return read_trace(buffer)

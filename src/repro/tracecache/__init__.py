@@ -1,0 +1,13 @@
+"""Trace-cache baseline (paper §5.3): fill unit, cache, sequencer."""
+
+from repro.tracecache.fill_unit import FillUnit, FillUnitConfig, TraceLine
+from repro.tracecache.sequencer import TraceCacheSequencer
+from repro.tracecache.trace_cache import TraceCache
+
+__all__ = [
+    "FillUnit",
+    "FillUnitConfig",
+    "TraceCache",
+    "TraceCacheSequencer",
+    "TraceLine",
+]

@@ -1,0 +1,87 @@
+"""Trace-cache sequencer (the paper's TC baseline configuration).
+
+On a trace-cache hit, the line streams at full fetch width across its
+embedded branches; because traces are not atomic, a path divergence
+simply truncates the fetch at the diverging instruction (early exit) —
+no recovery is needed, but no cross-block optimization is possible
+either.
+"""
+
+from __future__ import annotations
+
+from repro.trace.injector import InjectedInstruction
+from repro.replay.fetch_groups import branch_event_for, build_icache_block
+from repro.replay.sequencer import ICacheSequencer
+from repro.timing.config import ProcessorConfig
+from repro.timing.pipeline import FetchBlock
+from repro.tracecache.fill_unit import FillUnit, FillUnitConfig, TraceLine
+from repro.tracecache.trace_cache import TraceCache
+
+
+class TraceCacheSequencer(ICacheSequencer):
+    """Fetch from the trace cache when possible, else the ICache."""
+
+    def __init__(
+        self,
+        injected: list[InjectedInstruction],
+        config: ProcessorConfig,
+        fill_config: FillUnitConfig | None = None,
+    ) -> None:
+        super().__init__(injected, config)
+        self.fill_unit = FillUnit(fill_config)
+        self.trace_cache = TraceCache(config.frame_cache_uops)
+
+    def next_block(self, cycle: int) -> FetchBlock | None:
+        if self.index >= len(self.injected):
+            return None
+        pc = self.injected[self.index].record.pc
+        line = self.trace_cache.lookup(pc)
+        if line is not None:
+            matched = self._match_length(line)
+            if matched > 0:
+                return self._dispatch_line(line, matched)
+        block, count = build_icache_block(self.injected, self.index, self.config)
+        self._retire_region(count)
+        return block
+
+    def _match_length(self, line: TraceLine) -> int:
+        """Number of leading line instructions matching the upcoming path."""
+        injected = self.injected
+        base = self.index
+        matched = 0
+        for offset, pc in enumerate(line.x86_pcs):
+            if base + offset >= len(injected) or injected[base + offset].record.pc != pc:
+                break
+            matched += 1
+        return matched
+
+    def _dispatch_line(self, line: TraceLine, matched: int) -> FetchBlock:
+        uops: list = []
+        addresses: list = []
+        events = []
+        # Use the *current* instances so dynamic annotations (addresses,
+        # branch outcomes) are right for this execution.
+        instances = self.injected[self.index : self.index + matched]
+        for instr in instances:
+            event = branch_event_for(instr, len(uops))
+            if event is not None:
+                events.append(event)
+            for uop in instr.uops:
+                uops.append(uop)
+                addresses.append(uop.mem_address)
+        self._retire_region(matched)
+        return FetchBlock(
+            source="tcache",
+            uops=uops,
+            addresses=addresses,
+            x86_count=matched,
+            pc=line.start_pc,
+            branch_events=events,
+        )
+
+    def _retire_region(self, count: int) -> None:
+        for _ in range(count):
+            line = self.fill_unit.retire(self.injected[self.index])
+            if line is not None:
+                self.trace_cache.insert(line)
+            self.index += 1

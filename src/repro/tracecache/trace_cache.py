@@ -1,0 +1,46 @@
+"""Trace cache storage: LRU over uop capacity, one line per start PC."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.tracecache.fill_unit import TraceLine
+
+
+class TraceCache:
+    """LRU trace store, capacity-bounded in micro-operations."""
+
+    def __init__(self, capacity_uops: int = 16 * 1024) -> None:
+        self.capacity_uops = capacity_uops
+        self._lines: OrderedDict[int, TraceLine] = OrderedDict()
+        self._stored_uops = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    @property
+    def stored_uops(self) -> int:
+        return self._stored_uops
+
+    def lookup(self, pc: int) -> TraceLine | None:
+        line = self._lines.get(pc)
+        if line is None:
+            self.misses += 1
+            return None
+        self._lines.move_to_end(pc)
+        self.hits += 1
+        return line
+
+    def insert(self, line: TraceLine) -> None:
+        existing = self._lines.pop(line.start_pc, None)
+        if existing is not None:
+            self._stored_uops -= existing.uop_count
+        self._lines[line.start_pc] = line
+        self._stored_uops += line.uop_count
+        while self._stored_uops > self.capacity_uops and len(self._lines) > 1:
+            _, evicted = self._lines.popitem(last=False)
+            self._stored_uops -= evicted.uop_count
+            self.evictions += 1

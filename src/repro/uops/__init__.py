@@ -1,0 +1,27 @@
+"""rePLay micro-operation ISA: uop format, x86 decode flows, interpreter."""
+
+from repro.uops.interp import (
+    AssertionFired,
+    UopExecutionError,
+    UopState,
+    execute_sequence,
+    execute_uop,
+)
+from repro.uops.translate import TranslationError, Translator
+from repro.uops.uop import ARCH_REGS, TEMP_REGS, Uop, UopOp, UReg, format_uop
+
+__all__ = [
+    "ARCH_REGS",
+    "AssertionFired",
+    "TEMP_REGS",
+    "TranslationError",
+    "Translator",
+    "Uop",
+    "UopExecutionError",
+    "UopOp",
+    "UopState",
+    "UReg",
+    "execute_sequence",
+    "execute_uop",
+    "format_uop",
+]

@@ -1,0 +1,267 @@
+"""Reference interpreter for rePLay micro-operations.
+
+Used by the State Verifier (paper §5.1.3) to check that decode flows and
+optimized frames produce architectural effects identical to the original
+x86 instruction stream, and by property-based tests as the semantic
+ground truth for optimizer transformations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.x86.instructions import Cond, cond_holds
+from repro.x86.registers import MASK32, to_signed
+from repro.uops.uop import Uop, UopOp, UReg
+
+
+class UopExecutionError(Exception):
+    """Raised on malformed uops or faults (e.g. division by zero)."""
+
+
+class AssertionFired(Exception):
+    """Raised when an ASSERT/ASSERT_CMP condition does not hold."""
+
+    def __init__(self, uop: Uop) -> None:
+        super().__init__(f"assertion fired: {uop}")
+        self.uop = uop
+
+
+@dataclass
+class UopState:
+    """Register/flag/memory state for uop interpretation.
+
+    ``memory`` maps byte address -> byte value; missing addresses read as
+    the value supplied by ``memory_fallback`` (used by the verifier to
+    seed loads from the trace's initial memory map).
+    """
+
+    regs: list[int] = field(default_factory=lambda: [0] * len(UReg))
+    cf: bool = False
+    zf: bool = False
+    sf: bool = False
+    of: bool = False
+    memory: dict[int, int] = field(default_factory=dict)
+    memory_fallback: "callable | None" = None
+
+    def read_reg(self, reg: UReg) -> int:
+        return self.regs[reg]
+
+    def write_reg(self, reg: UReg, value: int) -> None:
+        self.regs[reg] = value & MASK32
+
+    def read_mem(self, address: int, size: int) -> int:
+        value = 0
+        for i in range(size):
+            byte_addr = (address + i) & MASK32
+            if byte_addr in self.memory:
+                byte = self.memory[byte_addr]
+            elif self.memory_fallback is not None:
+                byte = self.memory_fallback(byte_addr)
+            else:
+                byte = 0
+            value |= (byte & 0xFF) << (8 * i)
+        return value
+
+    def write_mem(self, address: int, value: int, size: int) -> None:
+        for i in range(size):
+            self.memory[(address + i) & MASK32] = (value >> (8 * i)) & 0xFF
+
+    def set_flags(self, *, cf: bool, zf: bool, sf: bool, of: bool) -> None:
+        self.cf, self.zf, self.sf, self.of = cf, zf, sf, of
+
+    def flags_word(self) -> int:
+        from repro.x86.registers import pack_flags
+
+        return pack_flags(self.cf, self.zf, self.sf, self.of)
+
+    def cond(self, cond: Cond) -> bool:
+        return cond_holds(cond, cf=self.cf, zf=self.zf, sf=self.sf, of=self.of)
+
+
+def _operand_b(state: UopState, uop: Uop) -> int:
+    if uop.src_b is not None:
+        return state.read_reg(uop.src_b)
+    if uop.imm is not None:
+        return uop.imm & MASK32
+    raise UopExecutionError(f"{uop} has neither srcB nor imm")
+
+
+def _mem_address(state: UopState, uop: Uop) -> int:
+    address = uop.imm or 0
+    if uop.src_a is not None:
+        address += state.read_reg(uop.src_a)
+    if uop.src_b is not None:
+        address += state.read_reg(uop.src_b) * uop.scale
+    return address & MASK32
+
+
+def _alu_flags(state: UopState, uop: Uop, a: int, b: int, result: int) -> None:
+    """IA-32 flag semantics for the flag-writing ALU opcodes."""
+    op = uop.op
+    zf = result == 0
+    sf = bool(result & 0x8000_0000)
+    if op is UopOp.ADD:
+        cf = a + b > MASK32
+        of = to_signed(a) + to_signed(b) != to_signed(result)
+        if uop.preserves_cf:
+            cf = state.cf
+        state.set_flags(cf=cf, zf=zf, sf=sf, of=of)
+    elif op is UopOp.SUB:
+        cf = a < b
+        of = to_signed(a) - to_signed(b) != to_signed(result)
+        if uop.preserves_cf:
+            cf = state.cf
+        state.set_flags(cf=cf, zf=zf, sf=sf, of=of)
+    elif op in (UopOp.AND, UopOp.OR, UopOp.XOR):
+        state.set_flags(cf=False, zf=zf, sf=sf, of=False)
+    elif op is UopOp.MUL:
+        full = to_signed(a) * to_signed(b)
+        overflow = to_signed(result) != full
+        state.set_flags(cf=overflow, zf=zf, sf=sf, of=overflow)
+    elif op is UopOp.NEG:
+        state.set_flags(cf=a != 0, zf=zf, sf=sf, of=a == 0x8000_0000)
+    elif op in (UopOp.SHL, UopOp.SHR, UopOp.SAR):
+        pass  # handled inline (count-dependent)
+    else:
+        state.set_flags(cf=False, zf=zf, sf=sf, of=False)
+
+
+def execute_uop(state: UopState, uop: Uop) -> None:
+    """Execute one uop against ``state`` (control uops update nothing)."""
+    op = uop.op
+
+    if op is UopOp.NOP or op in (UopOp.JMP,):
+        return
+    if op is UopOp.JMPI:
+        return  # target value is read by the sequencer, not modeled here
+    if op is UopOp.BR:
+        return  # direction is observed by the caller via state.cond
+    if op is UopOp.ASSERT:
+        assert uop.cond is not None
+        if not state.cond(uop.cond):
+            raise AssertionFired(uop)
+        return
+    if op is UopOp.ASSERT_CMP:
+        a = state.read_reg(uop.src_a) if uop.src_a is not None else 0
+        b = _operand_b(state, uop)
+        kind = uop.cmp_kind or UopOp.SUB
+        if kind is UopOp.SUB:
+            result = (a - b) & MASK32
+            state.set_flags(
+                cf=a < b,
+                zf=result == 0,
+                sf=bool(result & 0x8000_0000),
+                of=to_signed(a) - to_signed(b) != to_signed(result),
+            )
+        else:
+            result = a & b
+            state.set_flags(
+                cf=False,
+                zf=result == 0,
+                sf=bool(result & 0x8000_0000),
+                of=False,
+            )
+        assert uop.cond is not None
+        if not state.cond(uop.cond):
+            raise AssertionFired(uop)
+        return
+
+    if op is UopOp.LIMM:
+        state.write_reg(uop.dst, uop.imm or 0)
+        return
+    if op is UopOp.MOV:
+        state.write_reg(uop.dst, state.read_reg(uop.src_a))
+        return
+    if op is UopOp.LEA:
+        state.write_reg(uop.dst, _mem_address(state, uop))
+        return
+    if op is UopOp.SEXT:
+        raw = state.read_reg(uop.src_a)
+        state.write_reg(uop.dst, to_signed(raw, 8 * uop.size) & MASK32)
+        return
+    if op is UopOp.LOAD:
+        address = uop.mem_address
+        if address is None:
+            address = _mem_address(state, uop)
+        value = state.read_mem(address, uop.size)
+        if uop.sign_extend:
+            value = to_signed(value, 8 * uop.size) & MASK32
+        state.write_reg(uop.dst, value)
+        return
+    if op is UopOp.STORE:
+        address = uop.mem_address
+        if address is None:
+            address = _mem_address(state, uop)
+        value = state.read_reg(uop.src_data)
+        state.write_mem(address, value, uop.size)
+        return
+    if op in (UopOp.DIVQ, UopOp.DIVR):
+        low = state.read_reg(uop.src_a)
+        divisor = to_signed(_operand_b(state, uop))
+        high = state.read_reg(uop.src_data) if uop.src_data is not None else 0
+        if divisor == 0:
+            raise UopExecutionError(f"division by zero in {uop}")
+        dividend = to_signed((high << 32) | low, bits=64)
+        quotient = int(dividend / divisor)
+        if op is UopOp.DIVQ:
+            state.write_reg(uop.dst, quotient & MASK32)
+        else:
+            state.write_reg(uop.dst, (dividend - quotient * divisor) & MASK32)
+        return
+
+    # Flag-writing ALU group.
+    a = state.read_reg(uop.src_a) if uop.src_a is not None else 0
+    if op is UopOp.NEG:
+        result = (-a) & MASK32
+        if uop.writes_flags:
+            _alu_flags(state, uop, a, 0, result)
+    elif op is UopOp.NOT:
+        result = (~a) & MASK32
+    elif op in (UopOp.SHL, UopOp.SHR, UopOp.SAR):
+        count = _operand_b(state, uop) & 0x1F
+        if count == 0:
+            result = a  # flags preserved, value unchanged
+        else:
+            if op is UopOp.SHL:
+                result = (a << count) & MASK32
+                cf = bool((a >> (32 - count)) & 1)
+            elif op is UopOp.SHR:
+                result = a >> count
+                cf = bool((a >> (count - 1)) & 1)
+            else:
+                result = (to_signed(a) >> count) & MASK32
+                cf = bool((to_signed(a) >> (count - 1)) & 1)
+            if uop.writes_flags:
+                state.set_flags(
+                    cf=cf,
+                    zf=result == 0,
+                    sf=bool(result & 0x8000_0000),
+                    of=False,
+                )
+    else:
+        b = _operand_b(state, uop)
+        if op is UopOp.ADD:
+            result = (a + b) & MASK32
+        elif op is UopOp.SUB:
+            result = (a - b) & MASK32
+        elif op is UopOp.AND:
+            result = a & b
+        elif op is UopOp.OR:
+            result = a | b
+        elif op is UopOp.XOR:
+            result = a ^ b
+        elif op is UopOp.MUL:
+            result = (to_signed(a) * to_signed(b)) & MASK32
+        else:  # pragma: no cover - exhaustive
+            raise UopExecutionError(f"unimplemented uop {uop}")
+        if uop.writes_flags:
+            _alu_flags(state, uop, a, b, result)
+    if uop.dst is not None:
+        state.write_reg(uop.dst, result)
+
+
+def execute_sequence(state: UopState, uops: list[Uop]) -> None:
+    """Execute uops in order (no control transfer; frames are straight-line)."""
+    for uop in uops:
+        execute_uop(state, uop)

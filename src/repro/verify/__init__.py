@@ -1,0 +1,24 @@
+"""State verification (paper §5.1.3)."""
+
+from repro.verify.frame_exec import (
+    FrameExecutionError,
+    FrameOutcome,
+    execute_frame,
+)
+from repro.verify.state import ArchTracker, MemoryMaps
+from repro.verify.verifier import (
+    FrameVerificationReport,
+    StateVerifier,
+    VerificationError,
+)
+
+__all__ = [
+    "ArchTracker",
+    "FrameExecutionError",
+    "FrameOutcome",
+    "FrameVerificationReport",
+    "MemoryMaps",
+    "StateVerifier",
+    "VerificationError",
+    "execute_frame",
+]

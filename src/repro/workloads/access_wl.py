@@ -1,0 +1,126 @@
+"""Access analogue: B-tree-ish index search with record updates.
+
+Database-style control: a short comparison ladder per node (moderately
+biased), a descent pointer chase, and a leaf update — the middle of the
+paper's desktop pack (21% IPC gain).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import DATA_BASE, Workload, register
+from repro.x86.assembler import Assembler, Program, mem
+from repro.x86.instructions import Cond, Imm
+from repro.x86.registers import Reg
+
+NODES = DATA_BASE  # 24-byte nodes: k0, k1, k2, child0, child1, child2
+LEAVES = DATA_BASE + 0x6000  # 8-byte leaves: key, count
+QUERIES = DATA_BASE + 0xC000
+
+
+def build(scale: int, seed: int) -> Program:
+    rng = random.Random(seed)
+    depth = 3
+    fanout = 3
+    node_total = sum(fanout**d for d in range(depth))  # 13 internal nodes
+    leaf_count = fanout**depth  # 27 leaves
+
+    keys = sorted(rng.sample(range(1, 1 << 20), node_total * 3 + leaf_count))
+    leaf_keys = keys[: leaf_count]
+
+    nodes: list[int] = []
+    index = 0
+    for level in range(depth):
+        for n in range(fanout**level):
+            base = rng.randrange(1 << 18, 1 << 19)
+            k = sorted(rng.sample(range(1, 1 << 20), 3))
+            child_level_start = index + (fanout**level - n) + n * fanout
+            children = []
+            for c in range(fanout):
+                child_index = child_level_start + c
+                if level + 1 < depth:
+                    children.append(NODES + child_index * 24)
+                else:
+                    children.append(LEAVES + ((n * fanout + c) % leaf_count) * 8)
+            nodes.extend(k + children)
+            index += 1
+
+    leaves: list[int] = []
+    for key in leaf_keys:
+        leaves.extend((key, 0))
+    # Database queries are heavily skewed toward a hot range (think an
+    # index scan over recent records): 85% of lookups take one descent
+    # path, so most comparisons are biased and frames grow; the cold 15%
+    # provide the unbiased exits that keep desktop coverage below SPEC's.
+    hot_key = 1 << 19
+    queries = [
+        hot_key if rng.random() < 0.85 else rng.getrandbits(20) for _ in range(256)
+    ]
+
+    asm = Assembler()
+    asm.data_words(NODES, nodes)
+    asm.data_words(LEAVES, leaves)
+    asm.data_words(QUERIES, queries)
+
+    iterations = 700 * scale
+    asm.mov(Reg.ECX, Imm(iterations))
+    asm.xor(Reg.EDI, Reg.EDI)
+
+    asm.label("loop")
+    asm.mov(Reg.EAX, mem(index=Reg.EDI, scale=4, disp=QUERIES))
+    asm.mov(Reg.ESI, Imm(NODES))  # root
+    asm.mov(Reg.EDX, Imm(depth))
+
+    asm.label("descend")
+    asm.cmp(Reg.EAX, mem(Reg.ESI))  # key vs k0
+    asm.jcc(Cond.B, "child0")
+    asm.cmp(Reg.EAX, mem(Reg.ESI, disp=4))  # key vs k1
+    asm.jcc(Cond.B, "child1")
+    asm.mov(Reg.ESI, mem(Reg.ESI, disp=20))  # child2
+    asm.jmp("next_level")
+    asm.label("child0")
+    asm.mov(Reg.ESI, mem(Reg.ESI, disp=12))
+    asm.jmp("next_level")
+    asm.label("child1")
+    asm.mov(Reg.ESI, mem(Reg.ESI, disp=16))
+    asm.label("next_level")
+    asm.dec(Reg.EDX)
+    asm.jcc(Cond.NZ, "descend")
+
+    # Leaf update through a helper (stack traffic the optimizer removes).
+    asm.push(Reg.ECX)
+    asm.push(Reg.ESI)
+    asm.call("bump_leaf")
+    asm.add(Reg.ESP, Imm(4))
+    asm.pop(Reg.ECX)
+    asm.inc(Reg.EDI)
+    asm.and_(Reg.EDI, Imm(255))
+    asm.dec(Reg.ECX)
+    asm.jcc(Cond.NZ, "loop")
+    asm.ret()
+
+    # void bump_leaf(leaf*): count++ (read-modify-write).
+    asm.label("bump_leaf")
+    asm.push(Reg.EBP)
+    asm.mov(Reg.EBP, Reg.ESP)
+    asm.mov(Reg.ESI, mem(Reg.EBP, disp=8))
+    asm.mov(Reg.EBX, mem(Reg.ESI, disp=4))
+    asm.inc(Reg.EBX)
+    asm.mov(mem(Reg.ESI, disp=4), Reg.EBX)
+    asm.pop(Reg.EBP)
+    asm.ret()
+    return asm.assemble()
+
+
+register(
+    Workload(
+        name="access",
+        category="Business",
+        description="B-tree search ladder + leaf updates",
+        build=build,
+        paper_uop_reduction=0.22,
+        paper_load_reduction=0.20,
+        paper_ipc_gain=0.21,
+    )
+)

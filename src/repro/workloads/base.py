@@ -1,0 +1,125 @@
+"""Workload framework.
+
+The paper's evaluation ran on proprietary AMD hardware traces of
+SPECint 2000 and Winstone desktop applications (Table 1).  Those traces
+are unobtainable, so each application is replaced by a synthetic x86
+program written to exercise the same *structural* behaviour the paper
+attributes to it — loop-carried redundant loads in bzip2's critical loop,
+stack-frame-heavy call patterns in eon/vortex, aliasing unsafe stores in
+Excel, serial DSP chains in SoundForge, and so on (see each module's
+docstring and DESIGN.md §2).
+
+Every workload is deterministic: a seed fixes its data, and the emulator
+produces the dynamic trace the rest of the system consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.trace.stream import DynamicTrace
+from repro.x86.assembler import Assembler, Program
+from repro.x86.emulator import Emulator
+
+#: Where workload data tables live in the address space.
+DATA_BASE = 0x0050_0000
+
+#: A large second data region (used by big-footprint workloads).
+BIG_DATA_BASE = 0x0060_0000
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark: a program builder plus metadata (Table 1 analogue)."""
+
+    name: str
+    category: str  # 'SPECint' | 'Business' | 'Content'
+    description: str
+    build: Callable[[int, int], Program]  # (scale, seed) -> Program
+    default_scale: int = 1
+    paper_uop_reduction: float = 0.0  # Table 3, for EXPERIMENTS.md comparison
+    paper_load_reduction: float = 0.0
+    paper_ipc_gain: float = 0.0
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError(f"duplicate workload {workload.name!r}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_workloads() -> list[Workload]:
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def spec_workloads() -> list[Workload]:
+    return [w for w in all_workloads() if w.category == "SPECint"]
+
+
+def desktop_workloads() -> list[Workload]:
+    return [w for w in all_workloads() if w.category != "SPECint"]
+
+
+def build_workload(
+    name: str,
+    scale: int | None = None,
+    seed: int = 1,
+    max_instructions: int = 400_000,
+) -> DynamicTrace:
+    """Build and run a workload, returning its dynamic trace."""
+    workload = get_workload(name)
+    program = workload.build(scale or workload.default_scale, seed)
+    emulator = Emulator(program)
+    records = emulator.run(max_instructions)
+    if not emulator.halted:
+        raise RuntimeError(
+            f"workload {name!r} did not finish within {max_instructions} "
+            f"instructions; lower its scale"
+        )
+    return DynamicTrace(records, name=name)
+
+
+def _ensure_loaded() -> None:
+    """Import the workload modules exactly once (they self-register)."""
+    if _REGISTRY:
+        return
+    from repro.workloads import desktop, spec  # noqa: F401
+
+
+def data_words(rng: random.Random, count: int, bits: int = 32) -> list[int]:
+    """Deterministic pseudo-random data words for workload tables."""
+    mask = (1 << bits) - 1
+    return [rng.getrandbits(bits) & mask for _ in range(count)]
+
+
+def prologue(asm: Assembler) -> None:
+    """Standard x86 function prologue (frame pointer setup)."""
+    from repro.x86.registers import Reg
+
+    asm.push(Reg.EBP)
+    asm.mov(Reg.EBP, Reg.ESP)
+
+
+def epilogue(asm: Assembler) -> None:
+    """Standard x86 function epilogue."""
+    from repro.x86.registers import Reg
+
+    asm.pop(Reg.EBP)
+    asm.ret()

@@ -1,0 +1,14 @@
+"""Desktop application workload analogues (Table 1, bottom half).
+
+Importing this module registers all seven desktop workloads.
+"""
+
+from repro.workloads import (  # noqa: F401  (registration side effects)
+    access_wl,
+    dreamweaver_wl,
+    excel_wl,
+    lotus_wl,
+    photoshop_wl,
+    powerpoint_wl,
+    soundforge_wl,
+)

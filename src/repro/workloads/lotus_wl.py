@@ -1,0 +1,92 @@
+"""LotusNotes analogue: mail-record filtering and counting.
+
+Record traversal with short byte-string comparisons and status-flag
+updates through small helpers — a balanced desktop profile (22% removal,
+11% IPC in the paper).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import DATA_BASE, Workload, prologue, epilogue, register
+from repro.x86.assembler import Assembler, Program, mem
+from repro.x86.instructions import Cond, Imm
+from repro.x86.registers import Reg
+
+RECORDS = DATA_BASE  # 16-byte records: flags, sender, subj_off, count
+SUBJECTS = DATA_BASE + 0x4000
+COUNTERS = DATA_BASE + 0x8000
+
+
+def build(scale: int, seed: int) -> Program:
+    rng = random.Random(seed)
+    record_count = 256
+    records: list[int] = []
+    for _ in range(record_count):
+        records.extend(
+            (
+                rng.getrandbits(4),
+                rng.randrange(16),
+                rng.randrange(0, 1024 - 8),
+                0,
+            )
+        )
+
+    asm = Assembler()
+    asm.data_words(RECORDS, records)
+    asm.data_bytes(SUBJECTS, bytes(rng.choice(b"REWFWD: ") for _ in range(1024)))
+    asm.data_words(COUNTERS, [0] * 16)
+
+    iterations = 420 * scale
+    asm.mov(Reg.ECX, Imm(iterations))
+    asm.xor(Reg.EDI, Reg.EDI)
+
+    asm.label("loop")
+    asm.push(Reg.ECX)
+    asm.call("classify")
+    asm.pop(Reg.ECX)
+    asm.inc(Reg.EDI)
+    asm.and_(Reg.EDI, Imm(record_count - 1))
+    asm.dec(Reg.ECX)
+    asm.jcc(Cond.NZ, "loop")
+    asm.ret()
+
+    # classify(): check "RE" prefix, bump sender counter, set flag.
+    asm.label("classify")
+    prologue(asm)
+    asm.mov(Reg.ESI, Reg.EDI)
+    asm.shl(Reg.ESI, Imm(4))
+    asm.mov(Reg.EDX, mem(Reg.ESI, disp=RECORDS + 8))  # subj_off
+    asm.movzx(Reg.EAX, mem(index=Reg.EDX, disp=SUBJECTS, size=1))
+    asm.cmp(Reg.EAX, Imm(ord("R")))
+    asm.jcc(Cond.NZ, "not_reply")
+    asm.movzx(Reg.EAX, mem(index=Reg.EDX, disp=SUBJECTS + 1, size=1))
+    asm.cmp(Reg.EAX, Imm(ord("E")))
+    asm.jcc(Cond.NZ, "not_reply")
+    asm.mov(Reg.EAX, mem(Reg.ESI, disp=RECORDS))  # flags
+    asm.or_(Reg.EAX, Imm(0x10))  # mark as reply
+    asm.mov(mem(Reg.ESI, disp=RECORDS), Reg.EAX)
+    asm.label("not_reply")
+    asm.mov(Reg.EDX, mem(Reg.ESI, disp=RECORDS + 4))  # sender
+    asm.mov(Reg.EAX, mem(index=Reg.EDX, scale=4, disp=COUNTERS))
+    asm.inc(Reg.EAX)
+    asm.mov(mem(index=Reg.EDX, scale=4, disp=COUNTERS), Reg.EAX)
+    asm.mov(Reg.EAX, mem(Reg.ESI, disp=RECORDS + 12))  # record count
+    asm.inc(Reg.EAX)
+    asm.mov(mem(Reg.ESI, disp=RECORDS + 12), Reg.EAX)
+    epilogue(asm)
+    return asm.assemble()
+
+
+register(
+    Workload(
+        name="lotus",
+        category="Business",
+        description="mail-record classification, prefix checks, counters",
+        build=build,
+        paper_uop_reduction=0.22,
+        paper_load_reduction=0.26,
+        paper_ipc_gain=0.11,
+    )
+)

@@ -1,0 +1,84 @@
+"""PhotoShop analogue: integer convolution filter over a scanline.
+
+An unrolled 3-tap kernel whose neighbour loads overlap between unrolled
+steps (reassociation + CSE fold the reloads) and whose multiplies expose
+tree-height reduction: the paper reports modest removal (15%) but a big
+IPC gain (30%).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import DATA_BASE, Workload, data_words, register
+from repro.x86.assembler import Assembler, Program, mem
+from repro.x86.instructions import Cond, Imm
+from repro.x86.registers import Reg
+
+SRC = DATA_BASE
+DST = DATA_BASE + 0x4000
+
+
+def build(scale: int, seed: int) -> Program:
+    rng = random.Random(seed)
+    pixels = 1024
+    asm = Assembler()
+    asm.data_words(SRC, [v & 0xFFFF for v in data_words(rng, pixels + 8)])
+    asm.data_words(DST, [0] * (pixels + 8))
+
+    iterations = 3 * scale
+    asm.mov(Reg.ECX, Imm(iterations))
+
+    asm.label("frame")
+    asm.xor(Reg.EDI, Reg.EDI)  # pixel index
+    asm.label("row")
+    # Two unrolled taps; the [i+1]/[i+2] loads are shared between them.
+    for step in range(2):
+        base = step * 4
+        # Each tap re-loads its neighbours (the two-register budget of
+        # x86 forces reloads a RISC compiler would keep in registers).
+        asm.mov(Reg.EAX, mem(index=Reg.EDI, disp=SRC + base))
+        asm.imul(Reg.EAX, Imm(3))
+        asm.mov(Reg.EDX, mem(index=Reg.EDI, disp=SRC + base + 4))
+        asm.imul(Reg.EDX, Imm(10))
+        asm.add(Reg.EAX, Reg.EDX)
+        asm.mov(Reg.EDX, mem(index=Reg.EDI, disp=SRC + base + 8))
+        asm.imul(Reg.EDX, Imm(3))
+        asm.add(Reg.EAX, Reg.EDX)
+        # Edge-weight term: reloads the centre tap (CSE removes).
+        asm.mov(Reg.EDX, mem(index=Reg.EDI, disp=SRC + base + 4))
+        asm.shr(Reg.EDX, Imm(2))
+        asm.add(Reg.EAX, Reg.EDX)
+        asm.mov(Reg.EDX, mem(index=Reg.EDI, disp=SRC + base))
+        asm.add(Reg.EAX, Reg.EDX)
+        asm.shr(Reg.EAX, Imm(4))
+        # Saturate (biased not-taken with 16-bit inputs).
+        asm.cmp(Reg.EAX, Imm(0xFFFF))
+        asm.jcc(Cond.A, f"clamp{step}")
+        asm.label(f"resume{step}")
+        asm.mov(mem(index=Reg.EDI, disp=DST + base), Reg.EAX)
+    asm.add(Reg.EDI, Imm(8))
+    asm.cmp(Reg.EDI, Imm(pixels * 4))
+    asm.jcc(Cond.B, "row")
+    asm.dec(Reg.ECX)
+    asm.jcc(Cond.NZ, "frame")
+    asm.ret()
+
+    for step in range(2):
+        asm.label(f"clamp{step}")
+        asm.mov(Reg.EAX, Imm(0xFFFF))
+        asm.jmp(f"resume{step}")
+    return asm.assemble()
+
+
+register(
+    Workload(
+        name="photo",
+        category="Content",
+        description="unrolled convolution; shared neighbour loads, MULs",
+        build=build,
+        paper_uop_reduction=0.15,
+        paper_load_reduction=0.19,
+        paper_ipc_gain=0.30,
+    )
+)

@@ -1,0 +1,14 @@
+"""SPECint 2000 workload analogues (Table 1, top half).
+
+Importing this module registers all seven SPECint-like workloads.
+"""
+
+from repro.workloads import (  # noqa: F401  (registration side effects)
+    bzip2,
+    crafty_wl,
+    eon_wl,
+    gzip_wl,
+    parser_wl,
+    twolf_wl,
+    vortex_wl,
+)

@@ -1,0 +1,28 @@
+"""x86-subset substrate: registers, instructions, assembler, emulator."""
+
+from repro.x86.assembler import Assembler, AssemblyError, Program, mem
+from repro.x86.emulator import EXIT_ADDRESS, EmulationError, Emulator
+from repro.x86.instructions import Cond, Imm, Instruction, Label, Mem, Mnemonic
+from repro.x86.memory import Memory
+from repro.x86.registers import ALL_FLAGS, ALL_REGS, Flag, Reg
+
+__all__ = [
+    "ALL_FLAGS",
+    "ALL_REGS",
+    "Assembler",
+    "AssemblyError",
+    "Cond",
+    "EXIT_ADDRESS",
+    "EmulationError",
+    "Emulator",
+    "Flag",
+    "Imm",
+    "Instruction",
+    "Label",
+    "Mem",
+    "Memory",
+    "Mnemonic",
+    "Program",
+    "Reg",
+    "mem",
+]

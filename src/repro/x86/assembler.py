@@ -1,0 +1,238 @@
+"""A small assembler DSL for building x86-subset programs.
+
+Workloads are written directly against this API::
+
+    asm = Assembler()
+    asm.label("loop")
+    asm.mov(Reg.EAX, mem(Reg.ESI, disp=4))
+    asm.add(Reg.EAX, Imm(1))
+    asm.dec(Reg.ECX)
+    asm.jcc(Cond.NZ, "loop")
+    asm.ret()
+    program = asm.assemble()
+
+The assembler lays instructions out at realistic byte addresses (using the
+encoded-length estimator) and resolves label references, producing a
+:class:`Program` the functional emulator can run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.x86.instructions import (
+    Cond,
+    Imm,
+    Instruction,
+    Label,
+    Mem,
+    Mnemonic,
+    Operand,
+    estimate_length,
+)
+from repro.x86.registers import Reg
+
+
+class AssemblyError(Exception):
+    """Raised for malformed programs (duplicate or undefined labels, etc.)."""
+
+
+def mem(
+    base: Reg | None = None,
+    index: Reg | None = None,
+    scale: int = 1,
+    disp: int = 0,
+    size: int = 4,
+) -> Mem:
+    """Convenience constructor for memory operands."""
+    return Mem(base=base, index=index, scale=scale, disp=disp, size=size)
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions at addresses, plus initial data."""
+
+    instructions: dict[int, Instruction]
+    entry: int
+    labels: dict[str, int]
+    data: dict[int, bytes] = field(default_factory=dict)
+    code_size: int = 0
+
+    def at(self, address: int) -> Instruction:
+        """Fetch the instruction at ``address`` (KeyError if none)."""
+        return self.instructions[address]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class Assembler:
+    """Accumulates instructions and data, then resolves them into a Program."""
+
+    def __init__(self, base_address: int = 0x0040_1000) -> None:
+        self._base = base_address
+        self._items: list[Instruction | str] = []
+        self._data: dict[int, bytes] = {}
+        self._entry_label: str | None = None
+
+    # ---------------------------------------------------------------- core
+
+    def emit(
+        self,
+        mnemonic: Mnemonic,
+        *operands: Operand | str,
+        cond: Cond | None = None,
+    ) -> Instruction:
+        """Append an instruction; string operands are label references."""
+        resolved: list[Operand] = []
+        for op in operands:
+            resolved.append(Label(op) if isinstance(op, str) else op)
+        instr = Instruction(mnemonic=mnemonic, operands=tuple(resolved), cond=cond)
+        self._items.append(instr)
+        return instr
+
+    def label(self, name: str) -> None:
+        """Define a code label at the current position."""
+        self._items.append(name)
+
+    def entry(self, name: str) -> None:
+        """Set the program entry point to a label (default: first instruction)."""
+        self._entry_label = name
+
+    def data_bytes(self, address: int, data: bytes) -> None:
+        """Declare initial memory contents at an absolute address."""
+        self._data[address] = data
+
+    def data_words(self, address: int, words: list[int]) -> None:
+        """Declare initial memory contents as little-endian 32-bit words."""
+        blob = b"".join((w & 0xFFFFFFFF).to_bytes(4, "little") for w in words)
+        self.data_bytes(address, blob)
+
+    def assemble(self) -> Program:
+        """Resolve labels and produce the final :class:`Program`."""
+        # First pass: assign addresses.
+        labels: dict[str, int] = {}
+        address = self._base
+        for item in self._items:
+            if isinstance(item, str):
+                if item in labels:
+                    raise AssemblyError(f"duplicate label {item!r}")
+                labels[item] = address
+            else:
+                item.address = address
+                item.length = estimate_length(item)
+                address += item.length
+        code_size = address - self._base
+
+        # Second pass: check label references.
+        instructions: dict[int, Instruction] = {}
+        for item in self._items:
+            if isinstance(item, str):
+                continue
+            for op in item.operands:
+                if isinstance(op, Label) and op.name not in labels:
+                    raise AssemblyError(f"undefined label {op.name!r} in {item}")
+            item.label_targets = labels
+            instructions[item.address] = item
+
+        if not instructions:
+            raise AssemblyError("program has no instructions")
+        if self._entry_label is not None:
+            if self._entry_label not in labels:
+                raise AssemblyError(f"undefined entry label {self._entry_label!r}")
+            entry = labels[self._entry_label]
+        else:
+            entry = self._base
+        return Program(
+            instructions=instructions,
+            entry=entry,
+            labels=labels,
+            data=dict(self._data),
+            code_size=code_size,
+        )
+
+    # --------------------------------------------------------- mnemonics
+
+    def mov(self, dst: Operand, src: Operand) -> Instruction:
+        return self.emit(Mnemonic.MOV, dst, src)
+
+    def movzx(self, dst: Reg, src: Mem) -> Instruction:
+        return self.emit(Mnemonic.MOVZX, dst, src)
+
+    def movsx(self, dst: Reg, src: Mem) -> Instruction:
+        return self.emit(Mnemonic.MOVSX, dst, src)
+
+    def lea(self, dst: Reg, src: Mem) -> Instruction:
+        return self.emit(Mnemonic.LEA, dst, src)
+
+    def add(self, dst: Operand, src: Operand) -> Instruction:
+        return self.emit(Mnemonic.ADD, dst, src)
+
+    def sub(self, dst: Operand, src: Operand) -> Instruction:
+        return self.emit(Mnemonic.SUB, dst, src)
+
+    def and_(self, dst: Operand, src: Operand) -> Instruction:
+        return self.emit(Mnemonic.AND, dst, src)
+
+    def or_(self, dst: Operand, src: Operand) -> Instruction:
+        return self.emit(Mnemonic.OR, dst, src)
+
+    def xor(self, dst: Operand, src: Operand) -> Instruction:
+        return self.emit(Mnemonic.XOR, dst, src)
+
+    def cmp(self, left: Operand, right: Operand) -> Instruction:
+        return self.emit(Mnemonic.CMP, left, right)
+
+    def test(self, left: Operand, right: Operand) -> Instruction:
+        return self.emit(Mnemonic.TEST, left, right)
+
+    def inc(self, dst: Operand) -> Instruction:
+        return self.emit(Mnemonic.INC, dst)
+
+    def dec(self, dst: Operand) -> Instruction:
+        return self.emit(Mnemonic.DEC, dst)
+
+    def neg(self, dst: Operand) -> Instruction:
+        return self.emit(Mnemonic.NEG, dst)
+
+    def not_(self, dst: Operand) -> Instruction:
+        return self.emit(Mnemonic.NOT, dst)
+
+    def imul(self, dst: Reg, src: Operand) -> Instruction:
+        return self.emit(Mnemonic.IMUL, dst, src)
+
+    def idiv(self, src: Operand) -> Instruction:
+        return self.emit(Mnemonic.IDIV, src)
+
+    def cdq(self) -> Instruction:
+        return self.emit(Mnemonic.CDQ)
+
+    def shl(self, dst: Operand, count: Imm | Reg) -> Instruction:
+        return self.emit(Mnemonic.SHL, dst, count)
+
+    def shr(self, dst: Operand, count: Imm | Reg) -> Instruction:
+        return self.emit(Mnemonic.SHR, dst, count)
+
+    def sar(self, dst: Operand, count: Imm | Reg) -> Instruction:
+        return self.emit(Mnemonic.SAR, dst, count)
+
+    def push(self, src: Operand) -> Instruction:
+        return self.emit(Mnemonic.PUSH, src)
+
+    def pop(self, dst: Reg) -> Instruction:
+        return self.emit(Mnemonic.POP, dst)
+
+    def call(self, target: str | Reg | Mem) -> Instruction:
+        return self.emit(Mnemonic.CALL, target)
+
+    def ret(self) -> Instruction:
+        return self.emit(Mnemonic.RET)
+
+    def jmp(self, target: str | Reg | Mem) -> Instruction:
+        return self.emit(Mnemonic.JMP, target)
+
+    def jcc(self, cond: Cond, target: str) -> Instruction:
+        return self.emit(Mnemonic.JCC, target, cond=cond)
+
+    def nop(self) -> Instruction:
+        return self.emit(Mnemonic.NOP)

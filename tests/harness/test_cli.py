@@ -1,0 +1,35 @@
+"""Harness CLI (fast experiments only; fig6 etc. covered by benches)."""
+
+import pytest
+
+from repro.harness.cli import EXPERIMENTS, main
+
+
+def test_table2_renders(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "gshare" in out
+
+
+def test_fig2_renders(capsys):
+    assert main(["fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "frame: 10 uops" in out
+
+
+def test_multiple_experiments(capsys):
+    assert main(["table2", "fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out and "Figure 2" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_experiment_list_complete():
+    assert set(EXPERIMENTS) == {
+        "table1", "table2", "fig2", "fig6", "fig7", "fig8", "fig9",
+        "fig10", "table3",
+    }

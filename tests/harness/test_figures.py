@@ -1,0 +1,92 @@
+"""Figure/table runners (on a reduced workload set for speed)."""
+
+import pytest
+
+from repro.harness import figures
+from repro.harness.report import (
+    format_fig6,
+    format_fig7_8,
+    format_fig9,
+    format_fig10,
+    format_table1,
+    format_table3,
+)
+
+SMALL = ["twolf", "eon"]
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return figures.ResultMatrix()
+
+
+def test_paper_order_covers_all(matrix):
+    assert len(figures.PAPER_ORDER) == 14
+
+
+def test_table1_rows(matrix):
+    rows = figures.run_table1(matrix)
+    assert [r.name for r in rows] == figures.PAPER_ORDER
+    assert all(r.x86_instructions > 1000 for r in rows)
+    text = format_table1(rows)
+    assert "bzip2" in text and "x86 insts" in text
+
+
+def test_table2_text():
+    assert "gshare" in figures.run_table2()
+
+
+def test_fig6_rows_and_formatting(matrix):
+    rows = figures.run_fig6(matrix, workloads=SMALL)
+    assert {r.name for r in rows} == set(SMALL)
+    for row in rows:
+        assert set(row.ipc) == {"IC", "TC", "RP", "RPO"}
+        assert all(v > 0 for v in row.ipc.values())
+    text = format_fig6(rows)
+    assert "RPO/RP" in text
+
+
+def test_fig7_8_bins_sum_close_to_cycles(matrix):
+    rows = figures.run_fig7_8(matrix, workloads=SMALL)
+    assert len(rows) == 2 * len(SMALL)
+    for row in rows:
+        accounted = sum(row.bins.values())
+        # Fetch-side accounting lags final drain by a pipeline depth.
+        assert accounted <= row.cycles
+        assert accounted >= 0.9 * row.cycles
+    assert "cycles" in format_fig7_8(rows)
+
+
+def test_table3_includes_average(matrix):
+    rows = figures.run_table3(matrix, workloads=SMALL)
+    assert rows[-1].name == "Average"
+    average = rows[-1]
+    assert average.uops_removed == pytest.approx(
+        sum(r.uops_removed for r in rows[:-1]) / len(rows[:-1])
+    )
+    assert "paper" in format_table3(rows)
+
+
+def test_fig9_block_below_frame(matrix):
+    rows = figures.run_fig9(matrix, workloads=["eon"])
+    (row,) = rows
+    # Frame-level optimization must beat intra-block-only (paper Fig 9).
+    assert row.frame_speedup >= row.block_speedup
+    assert "Block" in format_fig9(rows)
+
+
+def test_fig10_relative_scale(matrix):
+    rows = figures.run_fig10(matrix, workloads=["eon"])
+    (row,) = rows
+    assert set(row.relative_ipc) == set(figures.FIG10_VARIANTS)
+    # Disabling any single pass cannot beat having all of them by much
+    # more than noise, and cannot fall far below RP.
+    for value in row.relative_ipc.values():
+        assert -0.5 <= value <= 1.6
+    assert "no RA" in format_fig10(rows)
+
+
+def test_matrix_caches_runs(matrix):
+    first = matrix.run("twolf", figures.CONFIGS["RP"])
+    second = matrix.run("twolf", figures.CONFIGS["RP"])
+    assert first is second

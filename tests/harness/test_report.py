@@ -1,0 +1,77 @@
+"""Report table formatting."""
+
+from repro.harness.figures import (
+    CycleBreakdownRow,
+    Fig6Row,
+    Fig9Row,
+    Fig10Row,
+    Table1Row,
+    Table3Row,
+)
+from repro.harness import report
+
+
+def test_generic_table_alignment():
+    text = report._table(["a", "long_header"], [["xxxx", "1"], ["y", "22"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    # Columns align: every cell of column 2 starts at the same offset.
+    offset = lines[0].index("long_header")
+    assert lines[2][offset] == "1"
+    assert lines[3][offset] == "2"
+
+
+def test_format_table1_row():
+    row = Table1Row(
+        name="bzip2", category="SPECint", x86_instructions=12345,
+        loads=100, stores=50, conditional_branches=10, taken_ratio=0.5,
+        description="x",
+    )
+    text = report.format_table1([row])
+    assert "12,345" in text and "0.50" in text
+
+
+def test_format_fig6_includes_average():
+    row = Fig6Row(
+        name="eon",
+        ipc={"IC": 1.0, "TC": 1.1, "RP": 1.5, "RPO": 2.0},
+        rpo_gain_over_rp=0.333,
+        coverage=0.9,
+    )
+    text = report.format_fig6([row])
+    assert "+33%" in text
+    assert "paper: +17%" in text
+
+
+def test_format_fig7_8_has_all_bins():
+    row = CycleBreakdownRow(
+        name="eon", config="RP", cycles=100,
+        bins={b: 1 for b in ("assert", "mispred", "miss", "stall",
+                             "wait", "frame", "icache")},
+    )
+    text = report.format_fig7_8([row])
+    for bin_name in ("assert", "mispred", "frame", "icache"):
+        assert bin_name in text
+
+
+def test_format_table3_dashes_for_missing_paper_numbers():
+    row = Table3Row(name="Average", uops_removed=0.2, loads_removed=0.3,
+                    ipc_increase=0.1)
+    text = report.format_table3([row])
+    assert "-" in text
+
+
+def test_format_fig9():
+    text = report.format_fig9([Fig9Row(name="eon", block_speedup=0.1,
+                                       frame_speedup=0.3)])
+    assert "+10%" in text and "+30%" in text
+
+
+def test_format_fig10_empty():
+    assert "no rows" in report.format_fig10([])
+
+
+def test_format_fig10_values():
+    row = Fig10Row(name="eon", relative_ipc={"ra": 0.25, "sf": 1.0})
+    text = report.format_fig10([row])
+    assert "0.25" in text and "no RA" in text

@@ -1,0 +1,84 @@
+"""Alias classification (symbolic memory equivalence, paper §6.4)."""
+
+from repro.optimizer import AliasClass, classify_alias, observed_disjoint, same_address
+from repro.optimizer.optuop import LiveIn, OptUop
+from repro.uops import UopOp, UReg
+
+
+def mem_uop(base=UReg.ESI, index=None, scale=1, disp=0, size=4,
+            observed=None, store=False) -> OptUop:
+    uop = OptUop(
+        op=UopOp.STORE if store else UopOp.LOAD,
+        slot=0,
+        src_a=LiveIn(base) if base is not None else None,
+        src_b=LiveIn(index) if index is not None else None,
+        scale=scale,
+        imm=disp,
+        size=size,
+        observed_address=observed,
+    )
+    return uop
+
+
+def test_same_symbol_same_disp_is_must():
+    a = mem_uop(disp=8)
+    b = mem_uop(disp=8, store=True)
+    assert classify_alias(a, b) is AliasClass.MUST
+    assert same_address(a, b)
+
+
+def test_same_symbol_disjoint_disp_is_no():
+    assert classify_alias(mem_uop(disp=0), mem_uop(disp=4)) is AliasClass.NO
+
+
+def test_same_symbol_overlapping_ranges_is_must():
+    a = mem_uop(disp=0, size=4)
+    b = mem_uop(disp=2, size=4)
+    assert classify_alias(a, b) is AliasClass.MUST
+    assert not same_address(a, b)  # overlap is not equality
+
+
+def test_different_base_is_may():
+    a = mem_uop(base=UReg.ESI)
+    b = mem_uop(base=UReg.EDI)
+    assert classify_alias(a, b) is AliasClass.MAY
+
+
+def test_different_index_is_may():
+    a = mem_uop(index=UReg.EAX, scale=4)
+    b = mem_uop(index=UReg.EBX, scale=4)
+    assert classify_alias(a, b) is AliasClass.MAY
+
+
+def test_same_index_different_scale_is_may():
+    a = mem_uop(index=UReg.EAX, scale=4)
+    b = mem_uop(index=UReg.EAX, scale=2)
+    assert classify_alias(a, b) is AliasClass.MAY
+
+
+def test_absolute_addresses_compare_literally():
+    a = mem_uop(base=None, disp=0x1000)
+    b = mem_uop(base=None, disp=0x1004)
+    assert classify_alias(a, b) is AliasClass.NO
+    c = mem_uop(base=None, disp=0x1002, size=4)
+    assert classify_alias(a, c) is AliasClass.MUST
+
+
+def test_size_matters_for_same_address():
+    a = mem_uop(disp=0, size=4)
+    b = mem_uop(disp=0, size=2)
+    assert not same_address(a, b)
+
+
+def test_observed_disjoint_requires_observations():
+    a = mem_uop(observed=None)
+    b = mem_uop(observed=0x2000)
+    assert not observed_disjoint(a, b)
+
+
+def test_observed_disjoint_true_and_false():
+    a = mem_uop(observed=0x1000)
+    b = mem_uop(observed=0x2000)
+    c = mem_uop(observed=0x1002)
+    assert observed_disjoint(a, b)
+    assert not observed_disjoint(a, c)

@@ -1,0 +1,137 @@
+"""Optimization buffer: remapping, dependency lists, live-outs."""
+
+import pytest
+
+from helpers import buffer_from_uops
+from repro.optimizer import BufferError, DefRef, LiveIn
+from repro.uops import Uop, UopOp, UReg
+from repro.x86.instructions import Cond
+
+
+def simple_uops():
+    return [
+        Uop(UopOp.LIMM, dst=UReg.EAX, imm=1),  # slot 0
+        Uop(UopOp.ADD, dst=UReg.EBX, src_a=UReg.EAX, src_b=UReg.ECX,
+            writes_flags=True),  # slot 1
+        Uop(UopOp.MOV, dst=UReg.EAX, src_a=UReg.EBX),  # slot 2
+        Uop(UopOp.ASSERT, cond=Cond.Z),  # slot 3, reads slot 1's flags
+    ]
+
+
+def test_remap_binds_live_ins_and_defs():
+    buf = buffer_from_uops(simple_uops())
+    add = buf.uops[1]
+    assert add.src_a == DefRef(0)  # EAX defined by slot 0
+    assert add.src_b == LiveIn(UReg.ECX)  # never defined in frame
+
+
+def test_dst_equals_slot_number():
+    buf = buffer_from_uops(simple_uops())
+    for slot, uop in enumerate(buf.uops):
+        assert uop.slot == slot
+
+
+def test_flags_chain_tracked():
+    buf = buffer_from_uops(simple_uops())
+    assertion = buf.uops[3]
+    assert assertion.flags_src == 1
+    assert buf.flags_children[1] == {3}
+
+
+def test_live_out_is_last_writer():
+    buf = buffer_from_uops(simple_uops())
+    assert buf.live_out[UReg.EAX] == DefRef(2)
+    assert buf.live_out[UReg.EBX] == DefRef(1)
+    assert UReg.ECX not in buf.live_out  # unwritten regs stay live-in
+    assert buf.flags_live_out_slot == 1
+
+
+def test_dependency_lists_populated():
+    buf = buffer_from_uops(simple_uops())
+    assert buf.value_children[0] == {1}
+    assert buf.value_children[1] == {2}
+
+
+def test_parent_lookup_is_slot_indexing():
+    buf = buffer_from_uops(simple_uops())
+    assert buf.parent(DefRef(1)) is buf.uops[1]
+    assert buf.parent(LiveIn(UReg.ECX)) is None
+
+
+def test_undefined_temp_rejected():
+    with pytest.raises(BufferError, match="undefined temporary"):
+        buffer_from_uops([Uop(UopOp.MOV, dst=UReg.EAX, src_a=UReg.ET0)])
+
+
+def test_replace_all_uses_rewires_children_and_liveout():
+    buf = buffer_from_uops(simple_uops())
+    count = buf.replace_all_uses(2, DefRef(1))
+    assert count >= 1
+    assert buf.live_out[UReg.EAX] == DefRef(1)
+    assert not buf.value_children[2]
+
+
+def test_invalidate_with_children_rejected():
+    buf = buffer_from_uops(simple_uops())
+    with pytest.raises(BufferError, match="children"):
+        buf.invalidate(0)
+
+
+def test_invalidate_detaches_from_parents():
+    buf = buffer_from_uops(simple_uops())
+    buf.replace_all_uses(2, DefRef(1))
+    buf.invalidate(2)
+    assert not buf.uops[2].valid
+    assert 2 not in buf.value_children[1]
+
+
+def test_replace_flags_uses():
+    uops = [
+        Uop(UopOp.SUB, dst=None, src_a=UReg.EAX, imm=1, writes_flags=True),
+        Uop(UopOp.SUB, dst=None, src_a=UReg.EAX, imm=1, writes_flags=True),
+        Uop(UopOp.ASSERT, cond=Cond.Z),
+    ]
+    buf = buffer_from_uops(uops)
+    assert buf.uops[2].flags_src == 1
+    buf.replace_flags_uses(1, 0)
+    assert buf.uops[2].flags_src == 0
+    assert buf.flags_live_out_slot == 0
+
+
+def test_value_protected_slots_frame_vs_block():
+    uops = [
+        Uop(UopOp.LIMM, dst=UReg.EAX, imm=1),  # block 0, overwritten later
+        Uop(UopOp.BR, cond=Cond.Z, target=0, taken=True),  # block boundary
+        Uop(UopOp.LIMM, dst=UReg.EAX, imm=2),  # block 1, final
+    ]
+    buf = buffer_from_uops(uops, block_starts=[0, 2])
+    frame_protected = buf.value_protected_slots("frame")
+    block_protected = buf.value_protected_slots("block")
+    assert 0 not in frame_protected  # atomic frame: only final EAX matters
+    assert 2 in frame_protected
+    assert 0 in block_protected  # control may exit between the blocks
+    assert 2 in block_protected
+
+
+def test_mem_slots_in_order():
+    uops = [
+        Uop(UopOp.STORE, src_a=UReg.ESP, imm=-4, src_data=UReg.EBP),
+        Uop(UopOp.LIMM, dst=UReg.EAX, imm=0),
+        Uop(UopOp.LOAD, dst=UReg.EBX, src_a=UReg.ESP, imm=-4),
+    ]
+    buf = buffer_from_uops(uops)
+    assert buf.mem_slots() == [0, 2]
+
+
+def test_counts():
+    buf = buffer_from_uops(simple_uops())
+    assert buf.valid_count() == 4
+    assert buf.load_count() == 0
+    assert buf.store_count() == 0
+
+
+def test_dump_lists_valid_slots():
+    buf = buffer_from_uops(simple_uops())
+    dump = buf.dump()
+    assert dump.count("\n") == 3  # four lines
+    assert "EAX" in dump

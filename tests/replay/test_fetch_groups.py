@@ -1,0 +1,105 @@
+"""ICache fetch-group construction."""
+
+from helpers import inject, run_program
+from repro.replay.fetch_groups import branch_event_for, build_icache_block, is_taken_transfer
+from repro.timing.config import default_config
+from repro.x86 import Assembler, Cond, Imm, Reg, mem
+
+
+def straight_line_injected(n=12):
+    asm = Assembler()
+    for i in range(n):
+        asm.add(Reg.EAX, Imm(i + 1))
+    asm.ret()
+    _, _, trace = run_program(asm)
+    return inject(trace)
+
+
+def test_group_limited_by_decode_width():
+    injected = straight_line_injected()
+    config = default_config()
+    block, count = build_icache_block(injected, 0, config)
+    assert count == config.x86_decode_width == 4
+    assert block.x86_count == 4
+
+
+def test_group_limited_by_uop_budget():
+    # PUSH = 2 uops each: five pushes exceed the 8-uop fetch width.
+    asm = Assembler()
+    for _ in range(6):
+        asm.push(Reg.EAX)
+    for _ in range(6):
+        asm.pop(Reg.EBX)
+    asm.ret()
+    _, _, trace = run_program(asm)
+    injected = inject(trace)
+    block, count = build_icache_block(injected, 0, default_config())
+    assert len(block.uops) <= default_config().fetch_width
+    assert count == 4
+
+
+def test_group_breaks_at_taken_branch():
+    asm = Assembler()
+    asm.mov(Reg.EAX, Imm(1))
+    asm.jmp("far")
+    asm.nop()
+    asm.label("far")
+    asm.mov(Reg.EBX, Imm(2))
+    asm.ret()
+    _, _, trace = run_program(asm)
+    injected = inject(trace)
+    block, count = build_icache_block(injected, 0, default_config())
+    assert count == 2  # mov + jmp; fetch redirects
+
+
+def test_not_taken_branch_does_not_break_group():
+    asm = Assembler()
+    asm.xor(Reg.EAX, Reg.EAX)
+    asm.test(Reg.EAX, Reg.EAX)
+    asm.jcc(Cond.NZ, "skip")  # not taken
+    asm.mov(Reg.EBX, Imm(2))
+    asm.label("skip")
+    asm.ret()
+    _, _, trace = run_program(asm)
+    injected = inject(trace)
+    block, count = build_icache_block(injected, 1, default_config())
+    assert count >= 3  # test, jcc(nt), mov flow together
+
+
+def test_stop_probe_truncates():
+    injected = straight_line_injected()
+    target = injected[2].record.pc
+    block, count = build_icache_block(
+        injected, 0, default_config(), stop_probe=lambda pc: pc == target
+    )
+    assert count == 2
+
+
+def test_branch_event_kinds(loop_asm):
+    _, _, trace = run_program(loop_asm)
+    kinds = set()
+    for instr in inject(trace):
+        event = branch_event_for(instr, 0)
+        if event is not None:
+            kinds.add(event.kind)
+    assert {"cond", "call", "ret"} <= kinds
+
+
+def test_is_taken_transfer(loop_asm):
+    _, _, trace = run_program(loop_asm)
+    injected = inject(trace)
+    for instr in injected:
+        record = instr.record
+        expected = (
+            record.instruction.is_branch
+            and record.next_pc != record.pc + record.instruction.length
+        )
+        assert is_taken_transfer(instr) == expected
+
+
+def test_byte_extent_covers_group():
+    injected = straight_line_injected()
+    block, count = build_icache_block(injected, 0, default_config())
+    assert block.byte_start == injected[0].record.pc
+    last = injected[count - 1].record
+    assert block.byte_end == last.pc + last.instruction.length

@@ -1,0 +1,118 @@
+"""Frame cache: LRU capacity in uops, replacement protection."""
+
+from repro.replay import Frame, FrameCache
+from repro.uops import Uop, UopOp, UReg
+
+
+def make_frame(pc: int, uop_count: int = 10, path_salt: int = 0) -> Frame:
+    uops = [
+        Uop(UopOp.ADD, dst=UReg.EAX, src_a=UReg.EAX, imm=1)
+        for _ in range(uop_count)
+    ]
+    return Frame(
+        start_pc=pc,
+        x86_pcs=[pc + i + path_salt * 1000 for i in range(uop_count)],
+        end_next_pc=pc + uop_count,
+        dyn_uops=uops,
+        x86_indices=list(range(uop_count)),
+        mem_keys=[None] * uop_count,
+    )
+
+
+def test_lookup_hit_and_miss():
+    cache = FrameCache()
+    frame = make_frame(0x1000)
+    frame.build_buffer()
+    cache.insert(frame)
+    assert cache.lookup(0x1000) is frame
+    assert cache.lookup(0x2000) is None
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_capacity_evicts_lru():
+    cache = FrameCache(capacity_uops=25)
+    for i in range(3):
+        frame = make_frame(0x1000 + i * 0x100, uop_count=10)
+        frame.build_buffer()
+        cache.insert(frame)
+    assert cache.stored_uops <= 25
+    assert cache.lookup(0x1000) is None  # the first one was evicted
+    assert cache.evictions == 1
+
+
+def test_lookup_refreshes_lru():
+    cache = FrameCache(capacity_uops=25)
+    first = make_frame(0x1000)
+    second = make_frame(0x1100)
+    for frame in (first, second):
+        frame.build_buffer()
+        cache.insert(frame)
+    cache.lookup(0x1000)  # refresh
+    third = make_frame(0x1200)
+    third.build_buffer()
+    cache.insert(third)
+    assert cache.lookup(0x1000) is first
+    assert cache.lookup(0x1100) is None
+
+
+def test_replacement_for_same_pc():
+    cache = FrameCache()
+    old = make_frame(0x1000, uop_count=10)
+    new = make_frame(0x1000, uop_count=12)
+    for frame in (old, new):
+        frame.build_buffer()
+    cache.insert(old)
+    cache.insert(new)
+    assert cache.lookup(0x1000) is new
+    assert cache.stored_uops == 12
+
+
+def test_proven_frame_resists_smaller_replacement():
+    cache = FrameCache()
+    proven = make_frame(0x1000, uop_count=12)
+    proven.build_buffer()
+    proven.commits = 10
+    cache.insert(proven)
+    challenger = make_frame(0x1000, uop_count=10, path_salt=1)
+    challenger.build_buffer()
+    assert not cache.insert(challenger)
+    assert cache.lookup(0x1000) is proven
+
+
+def test_larger_frame_replaces_proven():
+    cache = FrameCache()
+    proven = make_frame(0x1000, uop_count=10)
+    proven.build_buffer()
+    proven.commits = 10
+    cache.insert(proven)
+    bigger = make_frame(0x1000, uop_count=20, path_salt=1)
+    bigger.build_buffer()
+    assert cache.insert(bigger)
+    assert cache.lookup(0x1000) is bigger
+
+
+def test_firing_frame_loses_protection():
+    frame = make_frame(0x1000)
+    frame.commits = 8
+    frame.fires = 3
+    assert not frame.proven  # 3*4 > 8
+
+
+def test_explicit_evict():
+    cache = FrameCache()
+    frame = make_frame(0x1000)
+    frame.build_buffer()
+    cache.insert(frame)
+    cache.evict(0x1000)
+    assert cache.lookup(0x1000) is None
+    assert cache.stored_uops == 0
+
+
+def test_contains_does_not_disturb_stats():
+    cache = FrameCache()
+    frame = make_frame(0x1000)
+    frame.build_buffer()
+    cache.insert(frame)
+    assert cache.contains(0x1000)
+    assert not cache.contains(0x2000)
+    assert cache.hits == 0 and cache.misses == 0

@@ -1,0 +1,153 @@
+"""Timing model: fetch bandwidth, dependences, bins, window behaviour."""
+
+from repro.timing import FetchBlock, PipelineModel, ProcessorConfig, default_config
+from repro.timing.pipeline import BranchEvent
+from repro.uops import Uop, UopOp, UReg
+
+
+class ScriptedFetcher:
+    """Feeds a fixed list of blocks to the pipeline."""
+
+    def __init__(self, blocks):
+        self.blocks = list(blocks)
+
+    def next_block(self, cycle):
+        if self.blocks:
+            return self.blocks.pop(0)
+        return None
+
+
+def icache_block(uops, x86_count=None, pc=0x1000, events=()):
+    return FetchBlock(
+        source="icache",
+        uops=uops,
+        addresses=[u.mem_address for u in uops],
+        x86_count=x86_count if x86_count is not None else len(uops),
+        pc=pc,
+        byte_start=pc,
+        byte_end=pc + 4 * len(uops),
+        branch_events=list(events),
+    )
+
+
+def independent_alu(n):
+    return [
+        Uop(UopOp.ADD, dst=UReg(i % 4), src_a=UReg(i % 4), imm=1)
+        for i in range(n)
+    ]
+
+
+def test_fetch_width_bounds_throughput():
+    config = default_config()
+    blocks = [icache_block(independent_alu(8), pc=0x1000 + i * 64)
+              for i in range(50)]
+    result = PipelineModel(config).simulate(ScriptedFetcher(blocks))
+    # 400 uops at 8/cycle needs at least 50 fetch cycles.
+    assert result.bins["icache"] == 50
+    assert result.uops_fetched == 400
+
+
+def test_serial_chain_bounds_retirement():
+    config = default_config()
+    chain = [
+        Uop(UopOp.ADD, dst=UReg.EAX, src_a=UReg.EAX, imm=1) for _ in range(600)
+    ]
+    # Constant pc: a single warm icache line, so fetch runs far ahead of
+    # the serial dataflow and the window must fill.
+    blocks = [icache_block(chain[i : i + 8], pc=0x1000)
+              for i in range(0, 600, 8)]
+    result = PipelineModel(config).simulate(ScriptedFetcher(blocks))
+    # One ALU op per cycle minimum: total time ~ chain length.
+    assert result.cycles >= 600
+    # The 512-entry window must fill: fetch stalls appear.
+    assert result.bins["stall"] > 0
+
+
+def test_load_latency_from_dcache():
+    config = default_config()
+    load = Uop(UopOp.LOAD, dst=UReg.EAX, src_a=UReg.ESI)
+    load.mem_address = 0x8000
+    use = Uop(UopOp.ADD, dst=UReg.EBX, src_a=UReg.EAX, imm=1)
+    model = PipelineModel(config)
+    model.simulate(ScriptedFetcher([icache_block([load, use])]))
+    assert model.dcache.l1.misses >= 1
+
+
+def test_store_to_load_dependence():
+    config = default_config()
+    # Producer -> store -> load -> consumer must serialize.
+    producer = Uop(UopOp.MUL, dst=UReg.EAX, src_a=UReg.EAX, imm=3)
+    store = Uop(UopOp.STORE, src_a=UReg.ESP, imm=-4, src_data=UReg.EAX)
+    store.mem_address = 0xF000
+    load = Uop(UopOp.LOAD, dst=UReg.EBX, src_a=UReg.ESP, imm=-4)
+    load.mem_address = 0xF000
+    chain = [producer, store, load]
+    result = PipelineModel(config).simulate(
+        ScriptedFetcher([icache_block(chain)])
+    )
+    independent = PipelineModel(config).simulate(
+        ScriptedFetcher([icache_block([producer.copy(), load.copy()])])
+    )
+    assert result.cycles > 0  # smoke: dependency path exercised
+
+
+def test_mispredict_penalty_accounted():
+    config = default_config()
+    branch = Uop(UopOp.BR, cond=None, target=0x2000)
+    event = BranchEvent(uop_index=0, kind="cond", pc=0x1000, taken=True,
+                        target=0x2000)
+    block = icache_block([branch], events=[event])
+    filler = icache_block(independent_alu(8), pc=0x3000)
+    result = PipelineModel(config).simulate(ScriptedFetcher([block, filler]))
+    # Cold gshare predicts weakly-taken (correct) but the BTB misses:
+    # the paper counts BTB misses in the Mispredict bin.
+    assert result.bins["mispred"] >= config.branch_resolution_depth
+
+
+def test_correct_prediction_no_penalty():
+    config = default_config()
+    blocks = []
+    for i in range(40):
+        branch = Uop(UopOp.BR, cond=None, target=0x1000)
+        event = BranchEvent(uop_index=0, kind="cond", pc=0x1000, taken=True,
+                            target=0x1000)
+        blocks.append(icache_block([branch], pc=0x1000, events=[event]))
+    result = PipelineModel(config).simulate(ScriptedFetcher(blocks))
+    # After warmup the loop branch predicts perfectly; penalties stop.
+    assert result.bins["mispred"] < 3 * config.branch_resolution_depth
+
+
+def test_cache_switch_wait_cycles():
+    config = default_config()
+    frame_uops = independent_alu(4)
+    frame_block = FetchBlock(
+        source="frame",
+        uops=[],
+        addresses=[],
+        x86_count=0,
+        pc=0x1000,
+    )
+    # frame (empty) -> icache -> frame: two switches.
+    blocks = [
+        icache_block(independent_alu(4), pc=0x1000),
+        FetchBlock(source="frame", uops=[], addresses=[], x86_count=0, pc=0),
+        icache_block(independent_alu(4), pc=0x2000),
+    ]
+    result = PipelineModel(config).simulate(ScriptedFetcher(blocks))
+    assert result.bins["wait"] == 2 * config.cache_switch_penalty
+
+
+def test_icache_miss_bins():
+    config = default_config()
+    blocks = [icache_block(independent_alu(4), pc=0x100000)]
+    result = PipelineModel(config).simulate(ScriptedFetcher(blocks))
+    assert result.bins["miss"] > 0
+
+
+def test_x86_ipc_metric():
+    config = default_config()
+    blocks = [icache_block(independent_alu(8), x86_count=8, pc=0x1000 + 64 * i)
+              for i in range(20)]
+    result = PipelineModel(config).simulate(ScriptedFetcher(blocks))
+    assert result.x86_retired == 160
+    assert 0 < result.ipc_x86 <= config.retire_width

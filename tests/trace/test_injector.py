@@ -1,0 +1,86 @@
+"""Micro-Op Injector: dynamic annotation of decoded uops."""
+
+import pytest
+
+from helpers import inject, run_program
+from repro.trace import DynamicTrace, InjectionError, MicroOpInjector, MemOp, TraceRecord
+from repro.uops import UopOp
+from repro.x86 import Assembler, Cond, Imm, Reg, mem
+from repro.x86.instructions import Instruction, Mnemonic
+
+
+def test_mem_addresses_attached_in_order(loop_asm):
+    _, _, trace = run_program(loop_asm)
+    injected = inject(trace)
+    for instr in injected:
+        mem_uops = [u for u in instr.uops if u.is_mem]
+        assert len(mem_uops) == len(instr.record.mem_ops)
+        for uop, mem_op in zip(mem_uops, instr.record.mem_ops):
+            assert uop.mem_address == mem_op.address
+            assert uop.is_store == mem_op.is_store
+
+
+def test_branch_outcomes_attached(loop_asm):
+    _, _, trace = run_program(loop_asm)
+    for instr in inject(trace):
+        if instr.record.is_conditional_branch:
+            branch = [u for u in instr.uops if u.op is UopOp.BR]
+            assert len(branch) == 1
+            assert branch[0].taken == instr.record.branch_taken
+            assert branch[0].dyn_target == instr.record.next_pc
+
+
+def test_indirect_targets_attached(loop_asm):
+    _, _, trace = run_program(loop_asm)
+    for instr in inject(trace):
+        if instr.record.instruction.mnemonic is Mnemonic.RET:
+            jmpi = [u for u in instr.uops if u.op is UopOp.JMPI]
+            assert jmpi[0].dyn_target == instr.record.next_pc
+
+
+def test_each_injection_returns_fresh_uops(loop_asm):
+    """Dynamic annotations on one instance must not leak into another."""
+    _, _, trace = run_program(loop_asm)
+    injector = MicroOpInjector()
+    records = [r for r in trace if r.mem_ops]
+    first = injector.inject(records[0])
+    second = injector.inject(records[0])
+    assert first.uops[0] is not second.uops[0]
+
+
+def test_mismatched_mem_ops_rejected():
+    instr = Instruction(Mnemonic.MOV, (Reg.EAX, mem(Reg.ESI)))
+    instr.length = 2
+    record = TraceRecord(pc=0, instruction=instr, next_pc=2, mem_ops=())
+    with pytest.raises(InjectionError, match="more"):
+        MicroOpInjector().inject(record)
+
+
+def test_extra_mem_ops_rejected():
+    instr = Instruction(Mnemonic.MOV, (Reg.EAX, Reg.EBX))
+    instr.length = 2
+    record = TraceRecord(
+        pc=0,
+        instruction=instr,
+        next_pc=2,
+        mem_ops=(MemOp(is_store=False, address=0, size=4, data=0),),
+    )
+    with pytest.raises(InjectionError, match="recorded"):
+        MicroOpInjector().inject(record)
+
+
+def test_stats_counted(loop_asm):
+    _, _, trace = run_program(loop_asm)
+    injector = MicroOpInjector()
+    injector.inject_trace(trace)
+    assert injector.x86_count == len(trace)
+    assert injector.uop_count > injector.x86_count
+
+
+def test_trace_stats(loop_asm):
+    _, _, trace = run_program(loop_asm)
+    stats = trace.stats()
+    assert stats.x86_instructions == len(trace)
+    assert stats.loads > 0 and stats.stores > 0
+    assert 0.9 <= stats.taken_ratio <= 1.0  # loop branch almost always taken
+    assert stats.unique_pcs < stats.x86_instructions

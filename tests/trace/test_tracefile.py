@@ -1,0 +1,81 @@
+"""Trace-file round-tripping."""
+
+import io
+
+import pytest
+
+from helpers import run_program
+from repro.harness import CONFIGS, run_experiment
+from repro.trace.tracefile import (
+    TraceFileError,
+    dump_trace,
+    load_trace,
+    read_trace,
+    roundtrip,
+    write_trace,
+)
+from repro.workloads import build_workload
+
+
+def assert_traces_equal(a, b):
+    assert len(a) == len(b)
+    assert a.name == b.name
+    for left, right in zip(a.records, b.records):
+        assert left.pc == right.pc
+        assert left.next_pc == right.next_pc
+        assert left.reg_writes == right.reg_writes
+        assert left.flags_after == right.flags_after
+        assert left.mem_ops == right.mem_ops
+        assert left.branch_taken == right.branch_taken
+        assert left.instruction.mnemonic is right.instruction.mnemonic
+        assert left.instruction.length == right.instruction.length
+
+
+def test_roundtrip_loop_program(loop_asm):
+    _, _, trace = run_program(loop_asm)
+    trace.name = "loop"
+    assert_traces_equal(trace, roundtrip(trace))
+
+
+def test_roundtrip_workload():
+    trace = build_workload("lotus")
+    assert_traces_equal(trace, roundtrip(trace))
+
+
+def test_file_roundtrip(tmp_path, loop_asm):
+    _, _, trace = run_program(loop_asm)
+    trace.name = "disk"
+    path = tmp_path / "loop.trace"
+    dump_trace(trace, str(path))
+    assert_traces_equal(trace, load_trace(str(path)))
+
+
+def test_loaded_trace_simulates_identically(loop_asm):
+    _, _, trace = run_program(loop_asm)
+    trace.name = "sim"
+    reloaded = roundtrip(trace)
+    original = run_experiment(trace, CONFIGS["RPO"])
+    replayed = run_experiment(reloaded, CONFIGS["RPO"])
+    assert original.ipc_x86 == replayed.ipc_x86
+    assert original.sim.bins == replayed.sim.bins
+
+
+def test_bad_header_rejected():
+    with pytest.raises(TraceFileError, match="not a trace"):
+        read_trace(io.StringIO("BOGUS\n"))
+
+
+def test_version_mismatch_rejected():
+    with pytest.raises(TraceFileError, match="version"):
+        read_trace(io.StringIO("TRACE 99 x 0\n"))
+
+
+def test_truncated_trace_rejected(loop_asm):
+    _, _, trace = run_program(loop_asm)
+    trace.name = "t"
+    buffer = io.StringIO()
+    write_trace(trace, buffer)
+    lines = buffer.getvalue().splitlines()
+    truncated = "\n".join(lines[:-5]) + "\n"
+    with pytest.raises(TraceFileError, match="declares"):
+        read_trace(io.StringIO(truncated))

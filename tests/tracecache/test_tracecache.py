@@ -1,0 +1,88 @@
+"""Trace-cache baseline: fill unit, cache, partial-match sequencing."""
+
+from helpers import inject, run_program
+from repro.timing.config import default_config
+from repro.timing.pipeline import PipelineModel
+from repro.tracecache import FillUnit, FillUnitConfig, TraceCache, TraceCacheSequencer
+from repro.x86 import Assembler, Cond, Imm, Reg, mem
+
+
+def loop_injected(iterations=100):
+    asm = Assembler()
+    asm.data_words(0x500000, list(range(64)))
+    asm.mov(Reg.ESI, Imm(0x500000))
+    asm.mov(Reg.ECX, Imm(iterations))
+    asm.xor(Reg.EAX, Reg.EAX)
+    asm.label("loop")
+    asm.add(Reg.EAX, mem(Reg.ESI))
+    asm.add(Reg.ESI, Imm(4))
+    asm.cmp(Reg.ESI, Imm(0x500000 + 63 * 4))
+    asm.jcc(Cond.B, "nowrap")
+    asm.mov(Reg.ESI, Imm(0x500000))
+    asm.label("nowrap")
+    asm.dec(Reg.ECX)
+    asm.jcc(Cond.NZ, "loop")
+    asm.ret()
+    _, _, trace = run_program(asm)
+    return inject(trace)
+
+
+def test_fill_unit_bounds_branches():
+    config = FillUnitConfig(max_uops=64, max_branches=2)
+    fill = FillUnit(config)
+    lines = [l for l in (fill.retire(i) for i in loop_injected()) if l]
+    assert lines
+    for line in lines:
+        branches = sum(
+            1 for i in line.instructions if i.record.instruction.is_conditional
+        )
+        assert branches <= 2
+
+
+def test_fill_unit_bounds_uops():
+    config = FillUnitConfig(max_uops=16, max_branches=8)
+    fill = FillUnit(config)
+    lines = [l for l in (fill.retire(i) for i in loop_injected()) if l]
+    assert all(line.uop_count <= 16 for line in lines)
+
+
+def test_fill_unit_terminates_at_indirect(loop_asm):
+    _, _, trace = run_program(loop_asm)
+    fill = FillUnit()
+    lines = [l for l in (fill.retire(i) for i in inject(trace)) if l]
+    rets = [l for l in lines if l.instructions[-1].record.instruction.is_indirect]
+    assert rets  # RETs close trace lines
+
+
+def test_trace_cache_lru_capacity():
+    cache = TraceCache(capacity_uops=20)
+    fill = FillUnit(FillUnitConfig(max_uops=10))
+    inserted = 0
+    for instr in loop_injected():
+        line = fill.retire(instr)
+        if line is not None:
+            cache.insert(line)
+            inserted += 1
+        if inserted > 5:
+            break
+    assert cache.stored_uops <= 20
+
+
+def test_sequencer_runs_and_covers():
+    injected = loop_injected(300)
+    config = default_config()
+    sequencer = TraceCacheSequencer(injected, config)
+    result = PipelineModel(config).simulate(sequencer)
+    assert result.x86_retired == len(injected)
+    assert result.coverage > 0.3  # hot loop served from the trace cache
+    assert sequencer.trace_cache.hits > 0
+
+
+def test_partial_match_truncates_not_fires():
+    injected = loop_injected(300)
+    config = default_config()
+    sequencer = TraceCacheSequencer(injected, config)
+    result = PipelineModel(config).simulate(sequencer)
+    # Traces are not atomic: no assertion recovery cycles ever.
+    assert result.bins["assert"] == 0
+    assert result.frames_fired == 0

@@ -1,0 +1,143 @@
+"""Decode-flow validation: uop interpretation must match the emulator.
+
+This is the State Verifier's first job (paper §5.1.3): executing every
+instruction's uops against a running uop state and comparing the
+resulting register writes, flags, and stores with the trace.
+"""
+
+import random
+
+import pytest
+
+from helpers import inject, run_program
+from repro.uops import UopState, UReg, execute_uop
+from repro.x86 import Assembler, Cond, Emulator, Imm, Reg, mem
+
+
+def assert_trace_matches(asm: Assembler, max_instructions: int = 50_000):
+    program, reference, trace = run_program(asm, max_instructions)
+    injected = inject(trace)
+
+    replay = Emulator(program)  # fresh memory image for load fallback
+    state = UopState()
+    state.regs[UReg.ESP] = replay.regs[Reg.ESP]
+    state.memory_fallback = lambda addr: replay.memory.read(addr, 1)
+
+    for instr in injected:
+        for uop in instr.uops:
+            execute_uop(state, uop)
+        record = instr.record
+        for reg, expected in record.reg_writes.items():
+            got = state.regs[int(reg)]
+            assert got == expected, (
+                f"{record.instruction} at {record.pc:#x}: {reg.name} "
+                f"= {got:#x}, trace says {expected:#x}"
+            )
+        if record.flags_after is not None:
+            assert state.flags_word() == record.flags_after, (
+                f"{record.instruction} at {record.pc:#x}: flags "
+                f"{state.flags_word():#x} != {record.flags_after:#x}"
+            )
+        for mem_op in record.stores:
+            got = state.read_mem(mem_op.address, mem_op.size)
+            assert got == mem_op.data, (
+                f"{record.instruction}: stored {got:#x} != {mem_op.data:#x}"
+            )
+
+
+def test_loop_program_matches(loop_asm):
+    assert_trace_matches(loop_asm)
+
+
+def test_alu_flag_torture():
+    rng = random.Random(3)
+    asm = Assembler()
+    values = [rng.getrandbits(32) for _ in range(8)]
+    for i, value in enumerate(values):
+        asm.mov(Reg(i % 4), Imm(value))
+        asm.add(Reg.EAX, Reg(i % 4))
+        asm.sub(Reg.EBX, Imm(value & 0xFFFF))
+        asm.xor(Reg.ECX, Reg.EAX)
+        asm.imul(Reg.EDX, Imm((value % 7) + 1))
+        asm.inc(Reg.EAX)
+        asm.dec(Reg.EBX)
+        asm.neg(Reg.ECX)
+        asm.shl(Reg.EAX, Imm(value % 31 + 1))
+        asm.sar(Reg.EBX, Imm(3))
+        asm.cmp(Reg.EAX, Reg.EBX)
+        asm.test(Reg.ECX, Imm(0xFF))
+    asm.ret()
+    assert_trace_matches(asm)
+
+
+def test_memory_widths_and_sign_extension():
+    asm = Assembler()
+    asm.data_words(0x600000, [0xDEADBEEF, 0x0000FF80])
+    asm.mov(Reg.ESI, Imm(0x600000))
+    asm.movzx(Reg.EAX, mem(Reg.ESI, size=1))
+    asm.movsx(Reg.EBX, mem(Reg.ESI, size=1))
+    asm.movzx(Reg.ECX, mem(Reg.ESI, disp=4, size=2))
+    asm.movsx(Reg.EDX, mem(Reg.ESI, disp=4, size=2))
+    asm.mov(mem(Reg.ESI, disp=8, size=2), Reg.EAX)
+    asm.mov(mem(Reg.ESI, disp=10, size=1), Reg.EBX)
+    asm.ret()
+    assert_trace_matches(asm)
+
+
+def test_division_sequences():
+    asm = Assembler()
+    for dividend, divisor in ((100, 7), (-100 & 0xFFFFFFFF, 7), (5, 100)):
+        asm.mov(Reg.EAX, Imm(dividend))
+        asm.cdq()
+        asm.mov(Reg.EBX, Imm(divisor))
+        asm.idiv(Reg.EBX)
+    asm.ret()
+    assert_trace_matches(asm)
+
+
+def test_stack_heavy_calls():
+    asm = Assembler()
+    asm.mov(Reg.ECX, Imm(10))
+    asm.label("loop")
+    asm.push(Reg.ECX)
+    asm.push(Imm(5))
+    asm.call("f")
+    asm.add(Reg.ESP, Imm(4))
+    asm.pop(Reg.ECX)
+    asm.dec(Reg.ECX)
+    asm.jcc(Cond.NZ, "loop")
+    asm.ret()
+    asm.label("f")
+    asm.push(Reg.EBP)
+    asm.mov(Reg.EBP, Reg.ESP)
+    asm.mov(Reg.EAX, mem(Reg.EBP, disp=8))
+    asm.add(Reg.EAX, Imm(1))
+    asm.pop(Reg.EBP)
+    asm.ret()
+    assert_trace_matches(asm)
+
+
+@pytest.mark.parametrize("name", ["bzip2", "eon", "excel", "parser"])
+def test_workload_decode_flows_match(name):
+    """Spot-check full workloads through the decode-flow validator."""
+    from repro.workloads import get_workload
+
+    workload = get_workload(name)
+    program = workload.build(1, seed=1)
+    emulator = Emulator(program)
+    trace = emulator.run(6000)
+
+    replay = Emulator(program)
+    state = UopState()
+    state.regs[UReg.ESP] = replay.regs[Reg.ESP]
+    state.memory_fallback = lambda addr: replay.memory.read(addr, 1)
+    from repro.trace import DynamicTrace
+
+    for instr in inject(DynamicTrace(trace)):
+        for uop in instr.uops:
+            execute_uop(state, uop)
+        record = instr.record
+        for reg, expected in record.reg_writes.items():
+            assert state.regs[int(reg)] == expected
+        if record.flags_after is not None:
+            assert state.flags_word() == record.flags_after

@@ -1,0 +1,62 @@
+"""Uop data model."""
+
+from repro.uops import Uop, UopOp, UReg
+from repro.uops.uop import ARCH_REGS, TEMP_REGS
+from repro.x86.instructions import Cond
+
+
+def test_arch_regs_align_with_x86_encoding():
+    assert [int(r) for r in ARCH_REGS] == list(range(8))
+    assert all(r.is_architectural for r in ARCH_REGS)
+    assert not any(t.is_architectural for t in TEMP_REGS)
+
+
+def test_load_store_classification():
+    load = Uop(UopOp.LOAD, dst=UReg.EAX, src_a=UReg.ESI)
+    store = Uop(UopOp.STORE, src_a=UReg.ESI, src_data=UReg.EAX)
+    assert load.is_load and load.is_mem and not load.is_store
+    assert store.is_store and store.is_mem and not store.is_load
+
+
+def test_control_classification():
+    assert Uop(UopOp.BR, cond=Cond.Z, target=0x100).is_control
+    assert Uop(UopOp.JMP, target=0x100).is_control
+    assert Uop(UopOp.JMPI, src_a=UReg.ET2).is_control
+    assert not Uop(UopOp.ADD, dst=UReg.EAX, src_a=UReg.EAX, imm=1).is_control
+
+
+def test_assertion_classification():
+    assert Uop(UopOp.ASSERT, cond=Cond.Z).is_assertion
+    assert Uop(UopOp.ASSERT_CMP, cond=Cond.Z, cmp_kind=UopOp.SUB).is_assertion
+
+
+def test_reads_flags():
+    assert Uop(UopOp.BR, cond=Cond.Z, target=0).reads_flags
+    assert Uop(UopOp.ASSERT, cond=Cond.NZ).reads_flags
+    assert not Uop(UopOp.ADD, dst=UReg.EAX, src_a=UReg.EAX, imm=1).reads_flags
+
+
+def test_sources_ordering():
+    uop = Uop(UopOp.STORE, src_a=UReg.ESI, src_b=UReg.EDI, src_data=UReg.EAX)
+    assert uop.sources() == (UReg.ESI, UReg.EDI, UReg.EAX)
+
+
+def test_copy_overrides_fields():
+    uop = Uop(UopOp.BR, cond=Cond.Z, target=0x10)
+    converted = uop.copy(op=UopOp.ASSERT, target=None)
+    assert converted.op is UopOp.ASSERT and converted.target is None
+    assert uop.op is UopOp.BR  # original untouched
+
+
+def test_format_smoke():
+    # Formatting must never raise for any plausible uop shape.
+    samples = [
+        Uop(UopOp.LOAD, dst=UReg.EAX, src_a=UReg.ESI, src_b=UReg.EDI, scale=4, imm=8),
+        Uop(UopOp.STORE, src_a=UReg.ESP, imm=-4, src_data=UReg.EBP),
+        Uop(UopOp.LIMM, dst=UReg.ET0, imm=0x42),
+        Uop(UopOp.ASSERT_CMP, cond=Cond.Z, cmp_kind=UopOp.SUB, src_a=UReg.ET2, imm=1),
+        Uop(UopOp.NEG, dst=UReg.EAX, src_a=UReg.EAX),
+        Uop(UopOp.NOP),
+    ]
+    for uop in samples:
+        assert str(uop)

@@ -1,0 +1,103 @@
+"""Frame execution engine details."""
+
+import pytest
+
+from helpers import buffer_from_uops
+from repro.uops import Uop, UopOp, UReg
+from repro.verify.frame_exec import FrameExecutionError, execute_frame
+from repro.x86.instructions import Cond
+
+ZERO_FLAGS = (False, False, False, False)
+
+
+def regs(**overrides):
+    base = {UReg(i): 0 for i in range(8)}
+    for name, value in overrides.items():
+        base[UReg[name]] = value
+    return base
+
+
+def run(uops, live_in=None, flags=ZERO_FLAGS, memory=None):
+    buffer = buffer_from_uops(uops)
+    reader = (memory or {}).get
+    return buffer, execute_frame(buffer, live_in or regs(), flags, reader)
+
+
+def test_live_out_defaults_to_live_in():
+    _, outcome = run([Uop(UopOp.NOP)], live_in=regs(EDI=7))
+    assert outcome.final_regs[UReg.EDI] == 7
+
+
+def test_stores_accumulate_in_order():
+    uops = [
+        Uop(UopOp.LIMM, dst=UReg.ET0, imm=0xAA),
+        Uop(UopOp.STORE, src_a=UReg.ESI, imm=0, src_data=UReg.ET0),
+        Uop(UopOp.LIMM, dst=UReg.ET1, imm=0xBB),
+        Uop(UopOp.STORE, src_a=UReg.ESI, imm=0, src_data=UReg.ET1),
+    ]
+    _, outcome = run(uops, live_in=regs(ESI=0x100))
+    # Both stores execute (frames never drop stores); last value wins.
+    assert len(outcome.stores) == 2
+    assert outcome.stores[-1] == (0x100, 4, 0xBB)
+
+
+def test_load_sees_earlier_frame_store():
+    uops = [
+        Uop(UopOp.LIMM, dst=UReg.ET0, imm=0x42),
+        Uop(UopOp.STORE, src_a=UReg.ESI, imm=4, src_data=UReg.ET0),
+        Uop(UopOp.LOAD, dst=UReg.EAX, src_a=UReg.ESI, imm=4),
+    ]
+    _, outcome = run(uops, live_in=regs(ESI=0x200))
+    assert outcome.final_regs[UReg.EAX] == 0x42
+    assert outcome.loads == [(0x204, 4)]
+
+
+def test_addresses_computed_from_values_not_annotations():
+    load = Uop(UopOp.LOAD, dst=UReg.EAX, src_a=UReg.ESI, imm=8)
+    memory = {0x308 + i: 0x10 + i for i in range(4)}
+    _, outcome = run([load], live_in=regs(ESI=0x300), memory=memory)
+    assert outcome.loads == [(0x308, 4)]
+    assert outcome.final_regs[UReg.EAX] == 0x13121110
+
+
+def test_firing_assertion_stops_execution():
+    uops = [
+        Uop(UopOp.SUB, dst=None, src_a=UReg.EAX, imm=1, writes_flags=True),
+        Uop(UopOp.ASSERT, cond=Cond.Z),  # fires: EAX=0 so 0-1 != 0
+        Uop(UopOp.LIMM, dst=UReg.EBX, imm=9),
+    ]
+    buffer, outcome = run(uops)
+    assert outcome.fired and outcome.firing_slot == 1
+    assert outcome.final_regs[UReg.EBX] == 0  # slot 2 never ran... rollback
+
+
+def test_flags_live_out_from_last_writer():
+    uops = [
+        Uop(UopOp.SUB, dst=None, src_a=UReg.EAX, imm=0, writes_flags=True),
+    ]
+    _, outcome = run(uops)  # 0 - 0 = 0 -> ZF
+    from repro.x86.registers import Flag
+
+    assert outcome.final_flags & (1 << Flag.ZF)
+
+
+def test_flags_pass_through_when_unwritten():
+    _, outcome = run([Uop(UopOp.NOP)], flags=(True, False, True, False))
+    from repro.x86.registers import Flag
+
+    assert outcome.final_flags & (1 << Flag.CF)
+    assert outcome.final_flags & (1 << Flag.SF)
+
+
+def test_missing_memory_is_an_error():
+    load = Uop(UopOp.LOAD, dst=UReg.EAX, src_a=UReg.ESI, imm=0)
+    buffer = buffer_from_uops([load])
+    with pytest.raises(FrameExecutionError, match="initial memory map"):
+        execute_frame(buffer, regs(), ZERO_FLAGS, lambda a: None)
+
+
+def test_division_by_zero_is_an_error():
+    div = Uop(UopOp.DIVQ, dst=UReg.EAX, src_a=UReg.EAX, src_b=UReg.EBX)
+    buffer = buffer_from_uops([div])
+    with pytest.raises(FrameExecutionError, match="division"):
+        execute_frame(buffer, regs(), ZERO_FLAGS, lambda a: 0)

@@ -1,0 +1,104 @@
+"""Assembler DSL: layout, labels, data sections."""
+
+import pytest
+
+from repro.x86 import Assembler, AssemblyError, Cond, Imm, Reg, mem
+from repro.x86.instructions import Mnemonic
+
+
+def test_instructions_get_sequential_addresses():
+    asm = Assembler(base_address=0x1000)
+    asm.mov(Reg.EAX, Imm(1))
+    asm.mov(Reg.EBX, Imm(2))
+    program = asm.assemble()
+    addresses = sorted(program.instructions)
+    assert addresses[0] == 0x1000
+    first = program.instructions[addresses[0]]
+    assert addresses[1] == 0x1000 + first.length
+
+
+def test_labels_resolve_to_addresses():
+    asm = Assembler()
+    asm.jmp("end")
+    asm.label("end")
+    asm.nop()
+    program = asm.assemble()
+    nop_addr = program.labels["end"]
+    assert program.at(nop_addr).mnemonic is Mnemonic.NOP
+
+
+def test_duplicate_label_rejected():
+    asm = Assembler()
+    asm.label("x")
+    asm.nop()
+    asm.label("x")
+    with pytest.raises(AssemblyError, match="duplicate"):
+        asm.assemble()
+
+
+def test_undefined_label_rejected():
+    asm = Assembler()
+    asm.jmp("nowhere")
+    with pytest.raises(AssemblyError, match="undefined"):
+        asm.assemble()
+
+
+def test_undefined_entry_rejected():
+    asm = Assembler()
+    asm.nop()
+    asm.entry("missing")
+    with pytest.raises(AssemblyError, match="entry"):
+        asm.assemble()
+
+
+def test_entry_defaults_to_first_instruction():
+    asm = Assembler(base_address=0x5000)
+    asm.nop()
+    assert asm.assemble().entry == 0x5000
+
+
+def test_entry_can_be_set_by_label():
+    asm = Assembler()
+    asm.nop()
+    asm.label("main")
+    asm.ret()
+    asm.entry("main")
+    program = asm.assemble()
+    assert program.entry == program.labels["main"]
+
+
+def test_empty_program_rejected():
+    with pytest.raises(AssemblyError):
+        Assembler().assemble()
+
+
+def test_data_words_little_endian():
+    asm = Assembler()
+    asm.nop()
+    asm.data_words(0x9000, [1, 0x80000000])
+    program = asm.assemble()
+    blob = program.data[0x9000]
+    assert blob == (1).to_bytes(4, "little") + (0x80000000).to_bytes(4, "little")
+
+
+def test_code_size_accounts_all_instructions():
+    asm = Assembler()
+    for _ in range(10):
+        asm.push(Reg.EAX)  # 1 byte each
+    assert asm.assemble().code_size == 10
+
+
+def test_mem_helper_builds_operand():
+    operand = mem(Reg.ESI, index=Reg.EDI, scale=4, disp=8, size=2)
+    assert operand.base is Reg.ESI
+    assert operand.index is Reg.EDI
+    assert operand.scale == 4 and operand.disp == 8 and operand.size == 2
+
+
+def test_jcc_records_condition():
+    asm = Assembler()
+    asm.label("top")
+    asm.jcc(Cond.NZ, "top")
+    program = asm.assemble()
+    instr = program.at(program.entry)
+    assert instr.cond is Cond.NZ

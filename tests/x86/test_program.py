@@ -1,0 +1,43 @@
+"""Program container behaviour."""
+
+import pytest
+
+from repro.x86 import Assembler, Imm, Reg
+
+
+def test_program_len_counts_instructions():
+    asm = Assembler()
+    asm.mov(Reg.EAX, Imm(1))
+    asm.mov(Reg.EBX, Imm(2))
+    asm.ret()
+    assert len(asm.assemble()) == 3
+
+
+def test_at_unknown_address_raises():
+    asm = Assembler()
+    asm.ret()
+    program = asm.assemble()
+    with pytest.raises(KeyError):
+        program.at(0xDEAD)
+
+
+def test_data_sections_preserved():
+    asm = Assembler()
+    asm.ret()
+    asm.data_bytes(0x9000, b"\x01\x02")
+    asm.data_words(0xA000, [3])
+    program = asm.assemble()
+    assert program.data[0x9000] == b"\x01\x02"
+    assert program.data[0xA000] == (3).to_bytes(4, "little")
+
+
+def test_instruction_lengths_realistic_range():
+    asm = Assembler()
+    asm.push(Reg.EBP)  # 1 byte
+    asm.mov(Reg.EAX, Imm(0x12345678))  # >= 5 bytes
+    asm.ret()
+    program = asm.assemble()
+    lengths = [i.length for i in program.instructions.values()]
+    assert min(lengths) == 1
+    assert max(lengths) >= 5
+    assert all(1 <= l <= 10 for l in lengths)
