@@ -1,0 +1,95 @@
+"""Artifact store: cold vs warm wall-time, text vs binary codec throughput.
+
+Quantifies the capture-once/simulate-many win: a warm artifact store must
+serve the experiment matrix orders of magnitude faster than recomputing
+it, and the binary codec must beat the text format on both size and
+speed.  Prints comparison tables alongside the assertions.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+from repro.artifacts.codec import decode_trace, encode_trace
+from repro.artifacts.runner import MatrixTask, run_matrix
+from repro.artifacts.store import ArtifactStore
+from repro.harness.experiment import CONFIGS
+from repro.trace.tracefile import read_trace, write_trace
+from repro.workloads import build_workload
+
+TASKS = [
+    MatrixTask(workload, CONFIGS[config])
+    for workload in ("vortex", "power", "eon")
+    for config in ("IC", "RP", "RPO")
+]
+
+
+def test_bench_cold_vs_warm_matrix(tmp_path, benchmark):
+    store = ArtifactStore(tmp_path / "cache")
+
+    start = time.perf_counter()
+    cold = run_matrix(TASKS, store=store)
+    cold_seconds = time.perf_counter() - start
+
+    warm = benchmark.pedantic(
+        run_matrix, args=(TASKS,), kwargs={"store": store}, rounds=1, iterations=1
+    )
+    warm_seconds = warm.seconds
+
+    print()
+    print(f"{'run':<6} {'seconds':>9} {'emulated':>9} {'simulated':>10} {'hits':>6}")
+    for label, run, seconds in (
+        ("cold", cold, cold_seconds),
+        ("warm", warm, warm_seconds),
+    ):
+        print(
+            f"{label:<6} {seconds:>9.3f} "
+            f"{sum(t.emulated for t in run.telemetry):>9} "
+            f"{sum(t.simulated for t in run.telemetry):>10} "
+            f"{sum(t.result_cache_hit for t in run.telemetry):>6}"
+        )
+    print(f"speedup: {cold_seconds / warm_seconds:.0f}x")
+
+    assert all(t.result_cache_hit for t in warm.telemetry)
+    assert sum(t.emulated for t in warm.telemetry) == 0
+    assert warm_seconds < cold_seconds
+    assert [r.ipc_x86 for r in warm.results] == [r.ipc_x86 for r in cold.results]
+
+
+def test_bench_codec_throughput(benchmark):
+    trace = build_workload("crafty")
+    records = len(trace)
+
+    start = time.perf_counter()
+    text_buffer = io.StringIO()
+    write_trace(trace, text_buffer)
+    text_encode = time.perf_counter() - start
+    text_bytes = len(text_buffer.getvalue())
+
+    start = time.perf_counter()
+    text_buffer.seek(0)
+    read_trace(text_buffer)
+    text_decode = time.perf_counter() - start
+
+    start = time.perf_counter()
+    binary = encode_trace(trace)
+    binary_encode = time.perf_counter() - start
+    binary_bytes = len(binary)
+
+    decoded = benchmark.pedantic(decode_trace, args=(binary,), rounds=1, iterations=1)
+    start = time.perf_counter()
+    decode_trace(binary)
+    binary_decode = time.perf_counter() - start
+
+    def rate(seconds: float) -> str:
+        return f"{records / seconds:>12,.0f}" if seconds else f"{'inf':>12}"
+
+    print()
+    print(f"codec    {'bytes':>10} {'enc rec/s':>12} {'dec rec/s':>12}")
+    print(f"text     {text_bytes:>10,} {rate(text_encode)} {rate(text_decode)}")
+    print(f"binary   {binary_bytes:>10,} {rate(binary_encode)} {rate(binary_decode)}")
+    print(f"size ratio: {text_bytes / binary_bytes:.1f}x smaller")
+
+    assert decoded.records == trace.records
+    assert binary_bytes < text_bytes / 2

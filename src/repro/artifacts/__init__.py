@@ -1,0 +1,57 @@
+"""Artifact caching and parallel experiment orchestration.
+
+Capture once, simulate many times: the expensive pieces of a harness run
+(workload emulation, per-config simulation) are cached content-addressed
+on disk and fanned out across processes.  See ``DESIGN.md`` §"Artifact
+store".
+"""
+
+from repro.artifacts.codec import (
+    CODEC_VERSION,
+    decode_trace,
+    dump_trace_binary,
+    encode_trace,
+    load_trace_binary,
+    roundtrip_binary,
+)
+from repro.artifacts.store import (
+    ArtifactStore,
+    EntryInfo,
+    FORMAT_VERSION,
+    StoreTelemetry,
+    content_key,
+    default_cache_dir,
+)
+from repro.artifacts.runner import (
+    MatrixRun,
+    MatrixTask,
+    TaskTelemetry,
+    compute_cell,
+    compute_trace,
+    result_key,
+    run_matrix,
+    trace_key,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CODEC_VERSION",
+    "EntryInfo",
+    "FORMAT_VERSION",
+    "MatrixRun",
+    "MatrixTask",
+    "StoreTelemetry",
+    "TaskTelemetry",
+    "compute_cell",
+    "compute_trace",
+    "content_key",
+    "decode_trace",
+    "default_cache_dir",
+    "dump_trace_binary",
+    "encode_trace",
+    "load_trace_binary",
+    "result_key",
+    "roundtrip_binary",
+    "run_matrix",
+    "trace_key",
+]

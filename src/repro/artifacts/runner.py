@@ -1,0 +1,297 @@
+"""Parallel experiment runner: fan the workload × config matrix out.
+
+Every figure of the paper is a (workload, configuration) matrix whose
+cells are independent simulations.  This runner executes those cells
+through the artifact store (so warm runs do zero emulation) and, when
+``jobs > 1``, across a :class:`concurrent.futures.ProcessPoolExecutor`
+with deterministic result ordering — results come back in task order no
+matter which worker finishes first, so parallel and serial runs produce
+identical tables.
+
+Cache keying (see :func:`trace_key_material` / :func:`result_key_material`):
+a trace is addressed by the SHA-256 of the workload's *source code*,
+scale, seed, and instruction budget; a result additionally mixes in every
+field of the :class:`ExperimentConfig` (nested dataclasses included) and
+the store format version.  Changing any input — editing a workload,
+flipping an optimizer pass, resizing a cache — changes the key and forces
+a recompute; nothing is ever served stale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import logging
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.artifacts.store import ArtifactStore, content_key
+from repro.trace.stream import DynamicTrace
+from repro.workloads import build_workload, get_workload
+
+if TYPE_CHECKING:  # imported lazily at runtime (harness imports us back)
+    from repro.harness.experiment import ExperimentConfig, ExperimentResult
+
+log = logging.getLogger("repro.artifacts")
+
+#: Default emulation budget (mirrors ``build_workload``'s default).
+MAX_INSTRUCTIONS = 400_000
+
+
+# ------------------------------------------------------------------ keying
+
+
+def _workload_source_digest(name: str) -> str:
+    """SHA-256 of the workload's defining module source.
+
+    Editing a workload program invalidates its cached trace (and every
+    result derived from it).  Falls back to the repro package version
+    when source is unavailable (zipapp, frozen).
+    """
+    workload = get_workload(name)
+    module = sys.modules.get(workload.build.__module__)
+    try:
+        source = inspect.getsource(module)
+    except (OSError, TypeError):
+        import repro
+
+        source = f"repro=={getattr(repro, '__version__', 'unknown')}"
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def trace_key_material(
+    name: str,
+    scale: int | None = None,
+    seed: int = 1,
+    max_instructions: int = MAX_INSTRUCTIONS,
+) -> dict:
+    workload = get_workload(name)
+    return {
+        "workload": name,
+        "source": _workload_source_digest(name),
+        "scale": scale if scale is not None else workload.default_scale,
+        "seed": seed,
+        "max_instructions": max_instructions,
+    }
+
+
+def trace_key(
+    name: str,
+    scale: int | None = None,
+    seed: int = 1,
+    max_instructions: int = MAX_INSTRUCTIONS,
+) -> str:
+    return content_key("trace", trace_key_material(name, scale, seed, max_instructions))
+
+
+def result_key_material(
+    name: str,
+    config: ExperimentConfig,
+    scale: int | None = None,
+    seed: int = 1,
+    max_instructions: int = MAX_INSTRUCTIONS,
+) -> dict:
+    return {
+        "trace": trace_key_material(name, scale, seed, max_instructions),
+        "config": config.fingerprint(),
+    }
+
+
+def result_key(
+    name: str,
+    config: ExperimentConfig,
+    scale: int | None = None,
+    seed: int = 1,
+    max_instructions: int = MAX_INSTRUCTIONS,
+) -> str:
+    return content_key(
+        "result", result_key_material(name, config, scale, seed, max_instructions)
+    )
+
+
+# ------------------------------------------------------------------- tasks
+
+
+@dataclass(frozen=True)
+class MatrixTask:
+    """One cell of the workload × configuration matrix."""
+
+    workload: str
+    config: ExperimentConfig
+    scale: int | None = None
+    seed: int = 1
+
+
+@dataclass
+class TaskTelemetry:
+    """What one cell cost and where its pieces came from."""
+
+    workload: str
+    config_name: str
+    seconds: float = 0.0
+    result_cache_hit: bool = False
+    trace_cache_hit: bool = False
+    emulated: bool = False
+    simulated: bool = False
+    worker_pid: int = 0
+
+
+@dataclass
+class MatrixRun:
+    """Results in task order plus per-task telemetry."""
+
+    tasks: list[MatrixTask]
+    results: list[ExperimentResult]
+    telemetry: list[TaskTelemetry]
+    jobs: int = 1
+    seconds: float = 0.0
+
+    @property
+    def results_by_cell(self) -> dict[tuple[str, str], ExperimentResult]:
+        return {
+            (task.workload, task.config.name): result
+            for task, result in zip(self.tasks, self.results)
+        }
+
+
+#: In-process trace memo so one process never emulates/decodes the same
+#: workload twice (the matrix shares a trace across its configurations,
+#: exactly as ResultMatrix always did in-memory).  Bounded FIFO.
+_TRACE_MEMO: dict[str, DynamicTrace] = {}
+_TRACE_MEMO_CAP = 16
+
+
+def _memoize_trace(key: str, trace: DynamicTrace) -> None:
+    if len(_TRACE_MEMO) >= _TRACE_MEMO_CAP:
+        _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+    _TRACE_MEMO[key] = trace
+
+
+def compute_trace(
+    name: str,
+    scale: int | None = None,
+    seed: int = 1,
+    store: ArtifactStore | None = None,
+    telemetry: TaskTelemetry | None = None,
+) -> DynamicTrace:
+    """Fetch a captured trace (memory, then store), or emulate and capture it."""
+    key = trace_key(name, scale, seed)
+    memoized = _TRACE_MEMO.get(key)
+    if memoized is not None:
+        return memoized
+    if store is not None:
+        trace = store.get_trace(key)
+        if trace is not None:
+            if telemetry is not None:
+                telemetry.trace_cache_hit = True
+            _memoize_trace(key, trace)
+            return trace
+    trace = build_workload(name, scale=scale, seed=seed)
+    if telemetry is not None:
+        telemetry.emulated = True
+    if store is not None:
+        store.put_trace(key, trace, label=f"{name} seed={seed}")
+    _memoize_trace(key, trace)
+    return trace
+
+
+def compute_cell(
+    task: MatrixTask, store: ArtifactStore | None = None
+) -> tuple[ExperimentResult, TaskTelemetry]:
+    """Resolve one matrix cell: result cache → trace cache → emulate+simulate."""
+    telemetry = TaskTelemetry(
+        workload=task.workload,
+        config_name=task.config.name,
+        worker_pid=os.getpid(),
+    )
+    start = time.perf_counter()
+    from repro.harness.experiment import ExperimentResult, run_experiment
+
+    key = result_key(task.workload, task.config, task.scale, task.seed)
+    result: ExperimentResult | None = None
+    if store is not None:
+        cached = store.get_result(key)
+        if isinstance(cached, ExperimentResult):
+            result = cached
+            telemetry.result_cache_hit = True
+    if result is None:
+        trace = compute_trace(
+            task.workload, task.scale, task.seed, store, telemetry
+        )
+        result = run_experiment(trace, task.config, workload_name=task.workload)
+        telemetry.simulated = True
+        if store is not None:
+            store.put_result(
+                key, result, label=f"{task.workload}/{task.config.name}"
+            )
+    telemetry.seconds = time.perf_counter() - start
+    return result, telemetry
+
+
+# --------------------------------------------------------------- fan-out
+
+#: Per-worker store, rebuilt lazily from the root path shipped with each
+#: task (ArtifactStore itself is cheap; this just avoids re-reading env).
+_WORKER_STORES: dict[str, ArtifactStore] = {}
+
+
+def _worker(task: MatrixTask, store_root: str | None):
+    store = None
+    if store_root is not None:
+        store = _WORKER_STORES.get(store_root)
+        if store is None:
+            store = _WORKER_STORES[store_root] = ArtifactStore(store_root)
+    return compute_cell(task, store)
+
+
+def run_matrix(
+    tasks: list[MatrixTask],
+    jobs: int = 1,
+    store: ArtifactStore | None = None,
+) -> MatrixRun:
+    """Run every task, serially or across a process pool.
+
+    Results are returned in input order regardless of completion order.
+    ``jobs <= 1`` (or an environment where process pools are unavailable)
+    runs serially in-process.
+    """
+    start = time.perf_counter()
+    results: list[ExperimentResult | None] = [None] * len(tasks)
+    telemetry: list[TaskTelemetry | None] = [None] * len(tasks)
+
+    effective_jobs = max(1, min(jobs, len(tasks)))
+    if effective_jobs > 1:
+        try:
+            _run_parallel(tasks, effective_jobs, store, results, telemetry)
+        except Exception as exc:  # pool unavailable/broken: degrade, don't die
+            log.warning("process pool failed (%s); falling back to serial", exc)
+            effective_jobs = 1
+    if effective_jobs == 1:
+        for index, task in enumerate(tasks):
+            if results[index] is None:
+                results[index], telemetry[index] = compute_cell(task, store)
+
+    return MatrixRun(
+        tasks=list(tasks),
+        results=results,  # type: ignore[arg-type]
+        telemetry=telemetry,  # type: ignore[arg-type]
+        jobs=effective_jobs,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def _run_parallel(tasks, jobs, store, results, telemetry) -> None:
+    from concurrent.futures import ProcessPoolExecutor
+
+    store_root = str(store.root) if store is not None else None
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            index: pool.submit(_worker, task, store_root)
+            for index, task in enumerate(tasks)
+            if results[index] is None
+        }
+        for index, future in futures.items():
+            results[index], telemetry[index] = future.result()

@@ -3,15 +3,27 @@
 Usage::
 
     python -m repro.harness table1
-    python -m repro.harness fig6 table3
+    python -m repro.harness fig6 table3 --jobs 4
     python -m repro.harness all --scale 2
+    python -m repro.harness fig6 --no-cache       # force recompute
+    python -m repro.harness cache stats           # inspect the artifact cache
+    python -m repro.harness cache ls
+    python -m repro.harness cache gc --max-mb 256
+    python -m repro.harness cache clear
+
+Experiment runs go through the :mod:`repro.artifacts` store, so a warm
+second run does zero workload emulation; a one-line cache/parallelism
+summary is printed to stderr (stdout stays byte-identical between cold
+and warm runs).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
+from repro.artifacts.store import ArtifactStore
 from repro.harness import figures, report
 
 EXPERIMENTS = ("table1", "table2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "table3")
@@ -40,7 +52,71 @@ def _render(name: str, matrix: figures.ResultMatrix) -> str:
     raise ValueError(f"unknown experiment {name!r}")
 
 
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact cache root (default: $REPRO_UOPT_CACHE_DIR "
+        "or ~/.cache/repro-uopt)",
+    )
+
+
+def cache_main(argv: list[str]) -> int:
+    """The ``cache`` subcommand: ls / stats / clear / gc."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness cache",
+        description="Inspect or trim the artifact cache.",
+    )
+    parser.add_argument("action", choices=("ls", "stats", "clear", "gc"))
+    parser.add_argument(
+        "--max-mb",
+        type=float,
+        default=None,
+        help="gc: evict least-recently-used entries down to this size",
+    )
+    _add_cache_flags(parser)
+    args = parser.parse_args(argv)
+
+    store = ArtifactStore(args.cache_dir)
+    if args.action == "ls":
+        entries = sorted(store.entries(), key=lambda e: (e.kind, e.label, e.key))
+        for entry in entries:
+            age = time.time() - entry.mtime
+            print(
+                f"{entry.kind:<7} {entry.key[:16]}  {entry.size_bytes:>10,}B  "
+                f"{age:>8.0f}s old  {entry.label}"
+            )
+        print(f"{len(entries)} entries in {store.root}")
+    elif args.action == "stats":
+        stats = store.stats()
+        print(f"cache root   {stats['root']}")
+        for kind, info in stats["kinds"].items():
+            mb = info["bytes"] / (1024 * 1024)
+            print(f"{kind:<12} {info['entries']} entries, {mb:.2f} MB")
+        total_mb = stats["bytes"] / (1024 * 1024)
+        print(f"total        {stats['entries']} entries, {total_mb:.2f} MB")
+        print(f"quarantined  {stats['quarantined']}")
+        if stats["budget_bytes"] is not None:
+            print(f"budget       {stats['budget_bytes'] / (1024 * 1024):.0f} MB")
+    elif args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
+    elif args.action == "gc":
+        if args.max_mb is None:
+            parser.error("gc requires --max-mb")
+        removed, removed_bytes = store.gc(int(args.max_mb * 1024 * 1024))
+        print(
+            f"evicted {removed} entries ({removed_bytes / (1024 * 1024):.2f} MB) "
+            f"from {store.root}"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's tables and figures.",
@@ -49,19 +125,36 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="+",
         choices=EXPERIMENTS + ("all",),
-        help="which tables/figures to regenerate",
+        help="which tables/figures to regenerate ('cache' subcommand: "
+        "ls/stats/clear/gc the artifact store)",
     )
     parser.add_argument(
         "--scale", type=int, default=None, help="workload scale factor"
     )
     parser.add_argument("--seed", type=int, default=1, help="workload data seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment matrix (1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the artifact store: recompute everything, write nothing",
+    )
+    _add_cache_flags(parser)
     args = parser.parse_args(argv)
 
+    store = None if args.no_cache else ArtifactStore(args.cache_dir)
+    matrix = figures.ResultMatrix(
+        scale=args.scale, seed=args.seed, store=store, jobs=args.jobs
+    )
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
-    matrix = figures.ResultMatrix(scale=args.scale, seed=args.seed)
     for name in names:
         print(_render(name, matrix))
         print()
+    print(matrix.summary(), file=sys.stderr)
     return 0
 
 

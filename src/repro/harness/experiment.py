@@ -13,7 +13,7 @@ the timing model together and returns an :class:`ExperimentResult`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.trace.injector import MicroOpInjector
 from repro.trace.stream import DynamicTrace
@@ -40,6 +40,15 @@ class ExperimentConfig:
 
     def with_optimizer(self, optimizer: OptimizerConfig) -> "ExperimentConfig":
         return replace(self, optimizer=optimizer)
+
+    def fingerprint(self) -> dict:
+        """Every field that determines simulation output, as plain data.
+
+        The artifact store mixes this into the result cache key, so any
+        config change — a disabled pass, a resized cache — is a cache
+        miss, never a stale hit.
+        """
+        return asdict(self)
 
 
 #: The paper's four headline configurations (Figure 6).  ``IC64`` is the

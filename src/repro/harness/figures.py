@@ -8,8 +8,11 @@ simulated once per process.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 
+from repro.artifacts.runner import MatrixTask, TaskTelemetry, compute_trace, run_matrix
+from repro.artifacts.store import ArtifactStore
 from repro.harness.experiment import CONFIGS, ExperimentConfig, ExperimentResult, run_experiment
 from repro.optimizer.pipeline import OptimizerConfig
 from repro.timing.pipeline import BINS
@@ -42,28 +45,103 @@ FIG10_VARIANTS = ["asst", "cp", "cse", "nop", "ra", "sf"]
 
 
 class ResultMatrix:
-    """Caches traces and (workload, config) simulation results."""
+    """Caches traces and (workload, config) simulation results.
 
-    def __init__(self, scale: int | None = None, seed: int = 1) -> None:
+    Three cache layers, cheapest first: this process's memory, the
+    on-disk :class:`ArtifactStore` (``store``, survives across runs), and
+    recomputation — fanned across a process pool when ``jobs > 1``.
+    ``telemetry`` records where every cell came from; :meth:`summary`
+    renders the cache-hit counters the CLI prints after a run.
+    """
+
+    def __init__(
+        self,
+        scale: int | None = None,
+        seed: int = 1,
+        store: ArtifactStore | None = None,
+        jobs: int = 1,
+    ) -> None:
         self.scale = scale
         self.seed = seed
+        self.store = store
+        self.jobs = max(1, jobs)
         self._traces: dict[str, DynamicTrace] = {}
         self._results: dict[tuple[str, str], ExperimentResult] = {}
+        self.telemetry: list[TaskTelemetry] = []
 
     def trace(self, workload: str) -> DynamicTrace:
         if workload not in self._traces:
-            self._traces[workload] = build_workload(
-                workload, scale=self.scale, seed=self.seed
+            telemetry = TaskTelemetry(workload=workload, config_name="-")
+            start = time.perf_counter()
+            self._traces[workload] = compute_trace(
+                workload, self.scale, self.seed, self.store, telemetry
             )
+            telemetry.seconds = time.perf_counter() - start
+            self.telemetry.append(telemetry)
         return self._traces[workload]
+
+    def ensure(self, pairs: list[tuple[str, ExperimentConfig]]) -> None:
+        """Resolve many (workload, config) cells at once.
+
+        Missing cells run through :func:`repro.artifacts.runner.run_matrix`
+        — in parallel when ``jobs > 1`` — and land in the in-memory map,
+        so the subsequent per-cell :meth:`run` calls are pure lookups.
+        """
+        tasks: list[MatrixTask] = []
+        seen: set[tuple[str, str]] = set()
+        for workload, config in pairs:
+            cell = (workload, config.name)
+            if cell in self._results or cell in seen:
+                continue
+            seen.add(cell)
+            tasks.append(
+                MatrixTask(workload, config, scale=self.scale, seed=self.seed)
+            )
+        if not tasks:
+            return
+        run = run_matrix(tasks, jobs=self.jobs, store=self.store)
+        for task, result in zip(run.tasks, run.results):
+            self._results[(task.workload, task.config.name)] = result
+        self.telemetry.extend(run.telemetry)
 
     def run(self, workload: str, config: ExperimentConfig) -> ExperimentResult:
         key = (workload, config.name)
         if key not in self._results:
-            self._results[key] = run_experiment(
-                self.trace(workload), config, workload_name=workload
-            )
+            self.ensure([(workload, config)])
         return self._results[key]
+
+    # ------------------------------------------------------ run summary
+
+    @property
+    def results_cached(self) -> int:
+        return sum(t.result_cache_hit for t in self.telemetry)
+
+    @property
+    def results_computed(self) -> int:
+        return sum(t.simulated for t in self.telemetry)
+
+    @property
+    def traces_cached(self) -> int:
+        return sum(t.trace_cache_hit for t in self.telemetry)
+
+    @property
+    def traces_emulated(self) -> int:
+        return sum(t.emulated for t in self.telemetry)
+
+    def summary(self) -> str:
+        """One-line cache/parallelism accounting for this run."""
+        if self.store is not None:
+            stats = self.store.stats()
+            mb = stats["bytes"] / (1024 * 1024)
+            cache = f"{stats['root']} ({stats['entries']} entries, {mb:.1f} MB)"
+        else:
+            cache = "disabled"
+        return (
+            f"[repro.artifacts] results: {self.results_computed} computed, "
+            f"{self.results_cached} cached | traces: "
+            f"{self.traces_emulated} emulated, {self.traces_cached} cached | "
+            f"jobs: {self.jobs} | cache: {cache}"
+        )
 
 
 # ----------------------------------------------------------------- tables
@@ -123,8 +201,12 @@ def run_fig6(
 ) -> list[Fig6Row]:
     """x86 IPC under IC / TC / RP / RPO (Figure 6)."""
     matrix = matrix or ResultMatrix()
+    names = workloads or PAPER_ORDER
+    matrix.ensure(
+        [(name, CONFIGS[c]) for name in names for c in ("IC", "TC", "RP", "RPO")]
+    )
     rows = []
-    for name in workloads or PAPER_ORDER:
+    for name in names:
         ipc = {}
         for config_name in ("IC", "TC", "RP", "RPO"):
             ipc[config_name] = matrix.run(name, CONFIGS[config_name]).ipc_x86
@@ -153,8 +235,10 @@ def run_fig7_8(
 ) -> list[CycleBreakdownRow]:
     """Per-benchmark cycle breakdown for RP and RPO (Figures 7 and 8)."""
     matrix = matrix or ResultMatrix()
+    names = workloads or PAPER_ORDER
+    matrix.ensure([(name, CONFIGS[c]) for name in names for c in ("RP", "RPO")])
     rows = []
-    for name in workloads or PAPER_ORDER:
+    for name in names:
         for config_name in ("RP", "RPO"):
             result = matrix.run(name, CONFIGS[config_name])
             rows.append(
@@ -187,8 +271,10 @@ def run_table3(
     The final row is the all-workload average, as in the paper.
     """
     matrix = matrix or ResultMatrix()
+    names = workloads or PAPER_ORDER
+    matrix.ensure([(name, CONFIGS[c]) for name in names for c in ("RP", "RPO")])
     rows = []
-    for name in workloads or PAPER_ORDER:
+    for name in names:
         rp = matrix.run(name, CONFIGS["RP"])
         rpo = matrix.run(name, CONFIGS["RPO"])
         workload = get_workload(name)
@@ -232,8 +318,16 @@ def run_fig9(
         name="RPO-block",
         optimizer=OptimizerConfig(scope="block"),
     )
+    names = workloads or PAPER_ORDER
+    matrix.ensure(
+        [
+            (name, config)
+            for name in names
+            for config in (CONFIGS["RP"], CONFIGS["RPO"], block_config)
+        ]
+    )
     rows = []
-    for name in workloads or PAPER_ORDER:
+    for name in names:
         rp = matrix.run(name, CONFIGS["RP"]).ipc_x86
         frame = matrix.run(name, CONFIGS["RPO"]).ipc_x86
         block = matrix.run(name, block_config).ipc_x86
@@ -271,8 +365,20 @@ def run_fig10(
         )
         for variant in FIG10_VARIANTS
     }
+    names = workloads or FIG10_WORKLOADS
+    matrix.ensure(
+        [
+            (name, config)
+            for name in names
+            for config in (
+                CONFIGS["RP"],
+                CONFIGS["RPO"],
+                *variant_configs.values(),
+            )
+        ]
+    )
     rows = []
-    for name in workloads or FIG10_WORKLOADS:
+    for name in names:
         rp = matrix.run(name, CONFIGS["RP"]).ipc_x86
         rpo = matrix.run(name, CONFIGS["RPO"]).ipc_x86
         span = rpo - rp

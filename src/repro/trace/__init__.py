@@ -5,6 +5,7 @@ from repro.trace.record import MemOp, TraceRecord
 from repro.trace.stream import DynamicTrace, TraceStats
 from repro.trace.tracefile import (
     TraceFileError,
+    TraceVersionError,
     dump_trace,
     load_trace,
     read_trace,
@@ -18,6 +19,7 @@ __all__ = [
     "MemOp",
     "MicroOpInjector",
     "TraceFileError",
+    "TraceVersionError",
     "TraceRecord",
     "TraceStats",
     "dump_trace",

@@ -34,6 +34,25 @@ class TraceFileError(Exception):
     """Raised on malformed trace files."""
 
 
+class TraceVersionError(TraceFileError):
+    """Raised when a trace file's format version is not the supported one.
+
+    Carries the ``found`` and ``supported`` versions plus the offending
+    ``filename`` so callers (e.g. the artifact store, which treats a
+    version mismatch as a cache miss and recomputes) can tell a stale
+    format apart from genuine corruption.
+    """
+
+    def __init__(self, found: int, supported: int, filename: str | None = None):
+        self.found = found
+        self.supported = supported
+        self.filename = filename or "<stream>"
+        super().__init__(
+            f"{self.filename}: unsupported trace format version {found} "
+            f"(this reader supports version {supported})"
+        )
+
+
 # --------------------------------------------------------------- writing
 
 
@@ -142,14 +161,14 @@ def _parse_instruction(line: str) -> Instruction:
     return instr
 
 
-def read_trace(stream: IO[str]) -> DynamicTrace:
+def read_trace(stream: IO[str], filename: str | None = None) -> DynamicTrace:
     """Deserialize a trace written by :func:`write_trace`."""
     header = stream.readline().split()
     if len(header) < 4 or header[0] != "TRACE":
         raise TraceFileError("not a trace file")
     version = int(header[1])
     if version != FORMAT_VERSION:
-        raise TraceFileError(f"unsupported trace version {version}")
+        raise TraceVersionError(version, FORMAT_VERSION, filename)
     name = header[2]
     expected = int(header[3])
 
@@ -212,7 +231,7 @@ def read_trace(stream: IO[str]) -> DynamicTrace:
 def load_trace(path: str) -> DynamicTrace:
     """Read a trace from a file path."""
     with open(path) as stream:
-        return read_trace(stream)
+        return read_trace(stream, filename=str(path))
 
 
 def roundtrip(trace: DynamicTrace) -> DynamicTrace:

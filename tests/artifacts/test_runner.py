@@ -1,0 +1,108 @@
+"""Parallel runner: serial/parallel equality, caching, harness integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.artifacts.runner import MatrixTask, run_matrix
+from repro.artifacts.store import ArtifactStore
+from repro.harness import report
+from repro.harness.experiment import CONFIGS
+from repro.harness.figures import ResultMatrix, run_fig6
+
+#: Small, fast workloads — the matrix shape is what's under test.
+WORKLOADS = ["vortex", "power"]
+TASKS = [
+    MatrixTask(workload, CONFIGS[config])
+    for workload in WORKLOADS
+    for config in ("IC", "RP")
+]
+
+
+def _fingerprint(result):
+    return (
+        result.workload,
+        result.config_name,
+        result.ipc_x86,
+        result.sim.cycles,
+        dict(result.sim.bins),
+    )
+
+
+def test_serial_run_matrix_order_and_results():
+    run = run_matrix(TASKS, jobs=1)
+    assert [(t.workload, t.config_name) for t in run.telemetry] == [
+        (task.workload, task.config.name) for task in TASKS
+    ]
+    assert all(t.simulated for t in run.telemetry)
+    assert all(not t.result_cache_hit for t in run.telemetry)
+    assert run.jobs == 1
+
+
+def test_parallel_equals_serial():
+    serial = run_matrix(TASKS, jobs=1)
+    parallel = run_matrix(TASKS, jobs=2)
+    assert [_fingerprint(r) for r in parallel.results] == [
+        _fingerprint(r) for r in serial.results
+    ]
+    # Deterministic ordering: results align with input tasks.
+    for task, result in zip(parallel.tasks, parallel.results):
+        assert result.workload == task.workload
+        assert result.config_name == task.config.name
+
+
+def test_warm_store_serves_everything(tmp_path):
+    store = ArtifactStore(tmp_path)
+    cold = run_matrix(TASKS, jobs=1, store=store)
+    warm = run_matrix(TASKS, jobs=1, store=store)
+    assert all(t.result_cache_hit for t in warm.telemetry)
+    assert not any(t.emulated for t in warm.telemetry)
+    assert not any(t.simulated for t in warm.telemetry)
+    assert [_fingerprint(r) for r in warm.results] == [
+        _fingerprint(r) for r in cold.results
+    ]
+
+
+def test_parallel_warm_store(tmp_path):
+    store = ArtifactStore(tmp_path)
+    cold = run_matrix(TASKS, jobs=2, store=store)
+    warm = run_matrix(TASKS, jobs=2, store=store)
+    assert all(t.result_cache_hit for t in warm.telemetry)
+    assert [_fingerprint(r) for r in warm.results] == [
+        _fingerprint(r) for r in cold.results
+    ]
+
+
+def test_result_matrix_warm_run_zero_emulation(tmp_path):
+    store = ArtifactStore(tmp_path)
+    cold_matrix = ResultMatrix(store=store)
+    cold_table = report.format_fig6(run_fig6(cold_matrix, workloads=WORKLOADS))
+
+    warm_matrix = ResultMatrix(store=ArtifactStore(tmp_path))
+    warm_table = report.format_fig6(run_fig6(warm_matrix, workloads=WORKLOADS))
+
+    assert warm_table == cold_table
+    assert warm_matrix.traces_emulated == 0
+    assert warm_matrix.results_computed == 0
+    assert warm_matrix.results_cached == len(WORKLOADS) * 4
+    assert "cached" in warm_matrix.summary()
+
+
+def test_result_matrix_no_store_matches_store(tmp_path):
+    plain = report.format_fig6(run_fig6(ResultMatrix(), workloads=["power"]))
+    stored = report.format_fig6(
+        run_fig6(ResultMatrix(store=ArtifactStore(tmp_path)), workloads=["power"])
+    )
+    assert plain == stored
+
+
+def test_matrix_ensure_deduplicates():
+    matrix = ResultMatrix()
+    pairs = [("power", CONFIGS["IC"])] * 3
+    matrix.ensure(pairs)
+    assert len(matrix.telemetry) == 1
+
+
+def test_jobs_clamped_to_task_count():
+    run = run_matrix(TASKS[:1], jobs=8)
+    assert run.jobs == 1  # one task: runs serially in-process

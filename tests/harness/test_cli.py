@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.harness.cli import EXPERIMENTS, main
+from repro.artifacts.store import ArtifactStore, content_key
+from repro.harness.cli import EXPERIMENTS, cache_main, main
 
 
 def test_table2_renders(capsys):
@@ -33,3 +34,58 @@ def test_experiment_list_complete():
         "table1", "table2", "fig2", "fig6", "fig7", "fig8", "fig9",
         "fig10", "table3",
     }
+
+
+def test_run_summary_on_stderr_not_stdout(capsys, tmp_path):
+    assert main(["table2", "--cache-dir", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "[repro.artifacts]" in captured.err
+    assert "[repro.artifacts]" not in captured.out
+
+
+def test_no_cache_flag(capsys, tmp_path):
+    assert main(["table2", "--no-cache"]) == 0
+    assert "cache: disabled" in capsys.readouterr().err
+
+
+def test_jobs_flag_accepted(capsys, tmp_path):
+    assert main(["table2", "--jobs", "2", "--cache-dir", str(tmp_path)]) == 0
+    assert "jobs: 2" in capsys.readouterr().err
+
+
+def _populate(tmp_path) -> ArtifactStore:
+    store = ArtifactStore(tmp_path)
+    store.put_result(content_key("result", {"i": 1}), b"x" * 2048, label="demo")
+    return store
+
+
+def test_cache_stats(capsys, tmp_path):
+    _populate(tmp_path)
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "1 entries" in out and str(tmp_path) in out
+
+
+def test_cache_ls(capsys, tmp_path):
+    _populate(tmp_path)
+    assert cache_main(["ls", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "demo" in out and "result" in out
+
+
+def test_cache_clear(capsys, tmp_path):
+    store = _populate(tmp_path)
+    assert cache_main(["clear", "--cache-dir", str(tmp_path)]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    assert store.stats()["entries"] == 0
+
+
+def test_cache_gc(capsys, tmp_path):
+    _populate(tmp_path)
+    assert cache_main(["gc", "--max-mb", "0", "--cache-dir", str(tmp_path)]) == 0
+    assert "evicted 1" in capsys.readouterr().out
+
+
+def test_cache_gc_requires_budget(tmp_path):
+    with pytest.raises(SystemExit):
+        cache_main(["gc", "--cache-dir", str(tmp_path)])

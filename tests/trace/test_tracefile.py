@@ -70,6 +70,26 @@ def test_version_mismatch_rejected():
         read_trace(io.StringIO("TRACE 99 x 0\n"))
 
 
+def test_version_mismatch_names_versions_and_file():
+    from repro.trace.tracefile import FORMAT_VERSION, TraceVersionError
+
+    with pytest.raises(TraceVersionError) as excinfo:
+        read_trace(io.StringIO("TRACE 99 x 0\n"), filename="old.trace")
+    error = excinfo.value
+    assert error.found == 99
+    assert error.supported == FORMAT_VERSION
+    message = str(error)
+    assert "99" in message and str(FORMAT_VERSION) in message
+    assert "old.trace" in message
+
+
+def test_version_mismatch_defaults_to_stream_name():
+    from repro.trace.tracefile import TraceVersionError
+
+    with pytest.raises(TraceVersionError, match="<stream>"):
+        read_trace(io.StringIO("TRACE 99 x 0\n"))
+
+
 def test_truncated_trace_rejected(loop_asm):
     _, _, trace = run_program(loop_asm)
     trace.name = "t"
