@@ -25,6 +25,7 @@ from repro.artifacts.store import (
 from repro.artifacts.runner import (
     MatrixRun,
     MatrixTask,
+    MatrixTaskError,
     TaskTelemetry,
     compute_cell,
     compute_trace,
@@ -40,6 +41,7 @@ __all__ = [
     "FORMAT_VERSION",
     "MatrixRun",
     "MatrixTask",
+    "MatrixTaskError",
     "StoreTelemetry",
     "TaskTelemetry",
     "compute_cell",

@@ -25,10 +25,13 @@ import logging
 import os
 import sys
 import time
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pickle import PicklingError
 from typing import TYPE_CHECKING
 
 from repro.artifacts.store import ArtifactStore, content_key
+from repro.metrics import MetricsRegistry, get_registry
 from repro.trace.stream import DynamicTrace
 from repro.workloads import build_workload, get_workload
 
@@ -39,6 +42,25 @@ log = logging.getLogger("repro.artifacts")
 
 #: Default emulation budget (mirrors ``build_workload``'s default).
 MAX_INSTRUCTIONS = 400_000
+
+
+class MatrixTaskError(RuntimeError):
+    """A matrix cell's own computation failed.
+
+    Distinct from pool-infrastructure trouble on purpose: a bug in a
+    workload or pass must surface immediately with its original
+    traceback (chained via ``__cause__``), never trigger the
+    degrade-to-serial path that would re-run every cell just to hit the
+    same error minutes later.
+    """
+
+    def __init__(self, workload: str, config_name: str, original: BaseException):
+        self.workload = workload
+        self.config_name = config_name
+        super().__init__(
+            f"matrix cell {workload}/{config_name} failed: "
+            f"{type(original).__name__}: {original}"
+        )
 
 
 # ------------------------------------------------------------------ keying
@@ -176,6 +198,7 @@ def compute_trace(
     seed: int = 1,
     store: ArtifactStore | None = None,
     telemetry: TaskTelemetry | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> DynamicTrace:
     """Fetch a captured trace (memory, then store), or emulate and capture it."""
     key = trace_key(name, scale, seed)
@@ -189,7 +212,7 @@ def compute_trace(
                 telemetry.trace_cache_hit = True
             _memoize_trace(key, trace)
             return trace
-    trace = build_workload(name, scale=scale, seed=seed)
+    trace = build_workload(name, scale=scale, seed=seed, metrics=metrics)
     if telemetry is not None:
         telemetry.emulated = True
     if store is not None:
@@ -200,13 +223,20 @@ def compute_trace(
 
 def compute_cell(
     task: MatrixTask, store: ArtifactStore | None = None
-) -> tuple[ExperimentResult, TaskTelemetry]:
-    """Resolve one matrix cell: result cache → trace cache → emulate+simulate."""
+) -> tuple[ExperimentResult, TaskTelemetry, dict]:
+    """Resolve one matrix cell: result cache → trace cache → emulate+simulate.
+
+    The third element is a :class:`MetricsRegistry` snapshot holding
+    everything the cell measured.  Cells record into a private registry
+    (not the process global) so snapshots survive the pickle boundary
+    back from pool workers and merge deterministically in task order.
+    """
     telemetry = TaskTelemetry(
         workload=task.workload,
         config_name=task.config.name,
         worker_pid=os.getpid(),
     )
+    registry = MetricsRegistry()
     start = time.perf_counter()
     from repro.harness.experiment import ExperimentResult, run_experiment
 
@@ -219,16 +249,19 @@ def compute_cell(
             telemetry.result_cache_hit = True
     if result is None:
         trace = compute_trace(
-            task.workload, task.scale, task.seed, store, telemetry
+            task.workload, task.scale, task.seed, store, telemetry,
+            metrics=registry,
         )
-        result = run_experiment(trace, task.config, workload_name=task.workload)
+        result = run_experiment(
+            trace, task.config, workload_name=task.workload, metrics=registry
+        )
         telemetry.simulated = True
         if store is not None:
             store.put_result(
                 key, result, label=f"{task.workload}/{task.config.name}"
             )
     telemetry.seconds = time.perf_counter() - start
-    return result, telemetry
+    return result, telemetry, registry.snapshot()
 
 
 # --------------------------------------------------------------- fan-out
@@ -247,32 +280,74 @@ def _worker(task: MatrixTask, store_root: str | None):
     return compute_cell(task, store)
 
 
+#: Exception types that mean "the pool itself is unusable" — the only
+#: legitimate reasons to degrade to a serial run.  Anything else coming
+#: out of a cell is that cell's own bug and must propagate immediately.
+_POOL_ERRORS = (BrokenProcessPool, PicklingError, OSError)
+
+
 def run_matrix(
     tasks: list[MatrixTask],
     jobs: int = 1,
     store: ArtifactStore | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> MatrixRun:
     """Run every task, serially or across a process pool.
 
     Results are returned in input order regardless of completion order.
     ``jobs <= 1`` (or an environment where process pools are unavailable)
     runs serially in-process.
+
+    Error handling is two-tier: pool-infrastructure failures
+    (:class:`BrokenProcessPool`, :class:`PicklingError`, :class:`OSError`
+    while standing the pool up) degrade to a serial run with a warning
+    and a ``runner.pool_fallbacks`` count; a task's own exception raises
+    :class:`MatrixTaskError` naming the failing cell, with the original
+    traceback chained.
+
+    Each cell's metric snapshot is merged into ``metrics`` (the
+    process-global registry when not given) in task order, so parallel
+    and serial runs accumulate identical deterministic counter totals.
     """
+    registry = metrics if metrics is not None else get_registry()
     start = time.perf_counter()
     results: list[ExperimentResult | None] = [None] * len(tasks)
     telemetry: list[TaskTelemetry | None] = [None] * len(tasks)
+    snapshots: list[dict | None] = [None] * len(tasks)
 
     effective_jobs = max(1, min(jobs, len(tasks)))
     if effective_jobs > 1:
         try:
-            _run_parallel(tasks, effective_jobs, store, results, telemetry)
-        except Exception as exc:  # pool unavailable/broken: degrade, don't die
-            log.warning("process pool failed (%s); falling back to serial", exc)
+            _run_parallel(tasks, effective_jobs, store, results, telemetry, snapshots)
+        except MatrixTaskError:
+            raise
+        except _POOL_ERRORS as exc:
+            log.warning(
+                "process pool unavailable (%s: %s); falling back to serial",
+                type(exc).__name__,
+                exc,
+            )
+            registry.counter("runner.pool_fallbacks").inc()
             effective_jobs = 1
     if effective_jobs == 1:
         for index, task in enumerate(tasks):
             if results[index] is None:
-                results[index], telemetry[index] = compute_cell(task, store)
+                try:
+                    results[index], telemetry[index], snapshots[index] = (
+                        compute_cell(task, store)
+                    )
+                except Exception as exc:
+                    raise MatrixTaskError(
+                        task.workload, task.config.name, exc
+                    ) from exc
+
+    for snapshot in snapshots:
+        if snapshot is not None:
+            registry.merge(snapshot)
+    registry.counter("runner.cells").inc(len(tasks))
+    registry.gauge("runner.effective_jobs").set(effective_jobs)
+    if store is not None:
+        _publish_store_metrics(registry, store)
 
     return MatrixRun(
         tasks=list(tasks),
@@ -283,7 +358,22 @@ def run_matrix(
     )
 
 
-def _run_parallel(tasks, jobs, store, results, telemetry) -> None:
+def _publish_store_metrics(registry: MetricsRegistry, store: ArtifactStore) -> None:
+    """Fold the store's ad-hoc telemetry deltas into the registry.
+
+    Counts only what changed since the last publication, so repeated
+    ``run_matrix`` calls against one store never double-count.
+    """
+    published = getattr(store, "_published_telemetry", {})
+    current = vars(store.telemetry)
+    for field_name, value in current.items():
+        delta = value - published.get(field_name, 0)
+        if delta > 0:
+            registry.counter(f"store.{field_name}").inc(delta)
+    store._published_telemetry = dict(current)
+
+
+def _run_parallel(tasks, jobs, store, results, telemetry, snapshots) -> None:
     from concurrent.futures import ProcessPoolExecutor
 
     store_root = str(store.root) if store is not None else None
@@ -294,4 +384,15 @@ def _run_parallel(tasks, jobs, store, results, telemetry) -> None:
             if results[index] is None
         }
         for index, future in futures.items():
-            results[index], telemetry[index] = future.result()
+            task = tasks[index]
+            try:
+                results[index], telemetry[index], snapshots[index] = future.result()
+            except BrokenProcessPool:
+                # A dead pool is infrastructure trouble; let run_matrix
+                # degrade to serial.
+                raise
+            except Exception as exc:
+                # The cell itself failed: surface the workload/config and
+                # the original traceback now instead of re-running the
+                # whole matrix serially just to hit the same bug again.
+                raise MatrixTaskError(task.workload, task.config.name, exc) from exc

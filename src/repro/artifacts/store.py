@@ -52,7 +52,10 @@ log = logging.getLogger("repro.artifacts")
 
 #: Bump when the envelope, codec, or cached-object layout changes:
 #: old entries then read as misses and are recomputed.
-FORMAT_VERSION = 1
+#: v2: SimResult/SequencerStats/OptimizerTotals grew fields (window
+#: occupancy, cooldown skips, per-pass change counts) — pickled results
+#: from v1 would unpickle without them.
+FORMAT_VERSION = 2
 
 MAGIC = b"RART"
 _HEADER = struct.Struct("<4sH32sI")  # magic, version, digest, meta length
@@ -101,6 +104,7 @@ class StoreTelemetry:
     corrupt: int = 0
     stale: int = 0
     evicted: int = 0
+    discard_failed: int = 0
 
 
 @dataclass(frozen=True)
@@ -164,7 +168,7 @@ class ArtifactStore:
             try:
                 os.unlink(tmp_name)
             except OSError:
-                pass
+                pass  # silent-ok: best-effort temp cleanup; original error re-raised
             raise
         self.telemetry.writes += 1
         if self.budget_bytes is not None:
@@ -191,7 +195,7 @@ class ArtifactStore:
         try:
             os.utime(path)  # LRU touch for gc
         except OSError:
-            pass
+            pass  # silent-ok: a failed LRU touch only skews eviction order
         self.telemetry.hits += 1
         return payload
 
@@ -222,6 +226,18 @@ class ArtifactStore:
             return None
         return body[meta_len:]
 
+    def _reclassify_hit_as_miss(self) -> None:
+        """Correct telemetry for an entry that decoded as unusable.
+
+        ``get_bytes`` already counted a hit; take it back — but never
+        below zero, in case a caller cleared or replaced the telemetry
+        between the read and the decode.
+        """
+        if self.telemetry.hits > 0:
+            self.telemetry.hits -= 1
+        self.telemetry.stale += 1
+        self.telemetry.misses += 1
+
     def _read_meta(self, data: bytes) -> dict | None:
         if len(data) < _HEADER.size:
             return None
@@ -243,15 +259,23 @@ class ArtifactStore:
         try:
             self.quarantine_dir.mkdir(parents=True, exist_ok=True)
             os.replace(path, target)
-        except OSError:
+        except OSError as exc:
+            log.warning(
+                "could not quarantine %s (%s); discarding instead", path, exc
+            )
             self._discard(path)
 
-    @staticmethod
-    def _discard(path: Path) -> None:
+    def _discard(self, path: Path) -> None:
+        """Delete one entry; a failure is counted and logged, not fatal.
+
+        A deletion that silently fails would leave a corrupt or stale
+        entry resurfacing on every read — make it visible.
+        """
         try:
-            path.unlink()
-        except OSError:
-            pass
+            path.unlink(missing_ok=True)
+        except OSError as exc:
+            self.telemetry.discard_failed += 1
+            log.warning("could not discard artifact %s (%s)", path, exc)
 
     # ------------------------------------------------------------ traces
 
@@ -269,9 +293,7 @@ class ArtifactStore:
         except TraceFileError as exc:
             # Includes TraceVersionError: stale codec ⇒ miss, recompute.
             log.info("cached trace %s unusable (%s); recomputing", key[:12], exc)
-            self.telemetry.stale += 1
-            self.telemetry.hits -= 1
-            self.telemetry.misses += 1
+            self._reclassify_hit_as_miss()
             self._discard(self._entry_path(KIND_TRACE, key))
             return None
 
@@ -289,9 +311,7 @@ class ArtifactStore:
             return pickle.loads(payload)
         except Exception as exc:  # stale class layout, truncated pickle, ...
             log.info("cached result %s unusable (%s); recomputing", key[:12], exc)
-            self.telemetry.stale += 1
-            self.telemetry.hits -= 1
-            self.telemetry.misses += 1
+            self._reclassify_hit_as_miss()
             self._discard(self._entry_path(KIND_RESULT, key))
             return None
 

@@ -6,6 +6,9 @@ Usage::
     python -m repro.harness fig6 table3 --jobs 4
     python -m repro.harness all --scale 2
     python -m repro.harness fig6 --no-cache       # force recompute
+    python -m repro.harness fig6 --emit-stats run.json   # write a run ledger
+    python -m repro.harness fig6 --profile        # cProfile hotspots to stderr
+    python -m repro.harness stats run.json        # pretty-print a run ledger
     python -m repro.harness cache stats           # inspect the artifact cache
     python -m repro.harness cache ls
     python -m repro.harness cache gc --max-mb 256
@@ -14,7 +17,7 @@ Usage::
 Experiment runs go through the :mod:`repro.artifacts` store, so a warm
 second run does zero workload emulation; a one-line cache/parallelism
 summary is printed to stderr (stdout stays byte-identical between cold
-and warm runs).
+and warm runs, and with or without ``--emit-stats``).
 """
 
 from __future__ import annotations
@@ -25,6 +28,15 @@ import time
 
 from repro.artifacts.store import ArtifactStore
 from repro.harness import figures, report
+from repro.metrics import (
+    LedgerError,
+    build_run_ledger,
+    format_ledger,
+    get_registry,
+    profiled,
+    read_ledger,
+    write_ledger,
+)
 
 EXPERIMENTS = ("table1", "table2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "table3")
 
@@ -61,6 +73,32 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_stats_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--emit-stats",
+        metavar="FILE",
+        default=None,
+        help="write a versioned JSON run ledger to FILE after the run",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="wrap the run in cProfile and print hotspots to stderr",
+    )
+
+
+def _format_age(seconds: float) -> str:
+    """Entry age for ``cache ls``, clamped at zero.
+
+    A future mtime (clock skew, restored backups, touched files) must
+    never render a negative age.
+    """
+    seconds = max(0.0, seconds)
+    if seconds < 1.0:
+        return "<1s"
+    return f"{seconds:.0f}s"
+
+
 def cache_main(argv: list[str]) -> int:
     """The ``cache`` subcommand: ls / stats / clear / gc."""
     parser = argparse.ArgumentParser(
@@ -75,16 +113,25 @@ def cache_main(argv: list[str]) -> int:
         help="gc: evict least-recently-used entries down to this size",
     )
     _add_cache_flags(parser)
+    _add_stats_flags(parser)
     args = parser.parse_args(argv)
 
     store = ArtifactStore(args.cache_dir)
+    with profiled(enabled=args.profile):
+        _cache_action(parser, args, store)
+    if args.emit_stats:
+        _emit_cache_ledger(argv, args, store)
+    return 0
+
+
+def _cache_action(parser, args, store: ArtifactStore) -> None:
     if args.action == "ls":
         entries = sorted(store.entries(), key=lambda e: (e.kind, e.label, e.key))
         for entry in entries:
-            age = time.time() - entry.mtime
+            age = _format_age(time.time() - entry.mtime)
             print(
                 f"{entry.kind:<7} {entry.key[:16]}  {entry.size_bytes:>10,}B  "
-                f"{age:>8.0f}s old  {entry.label}"
+                f"{age:>9} old  {entry.label}"
             )
         print(f"{len(entries)} entries in {store.root}")
     elif args.action == "stats":
@@ -109,6 +156,47 @@ def cache_main(argv: list[str]) -> int:
             f"evicted {removed} entries ({removed_bytes / (1024 * 1024):.2f} MB) "
             f"from {store.root}"
         )
+
+
+class _NoMatrix:
+    """Stand-in for :class:`figures.ResultMatrix` on runs without one
+    (the ``cache`` subcommand), so every subcommand can ledger."""
+
+    telemetry: list = []
+    _results: dict = {}
+    jobs = 1
+    scale = None
+    seed = None
+
+    def __init__(self, store: ArtifactStore | None) -> None:
+        self.store = store
+
+
+def _emit_cache_ledger(argv: list[str], args, store: ArtifactStore) -> None:
+    ledger = build_run_ledger(
+        argv, [f"cache-{args.action}"], _NoMatrix(store), registry=get_registry()
+    )
+    write_ledger(args.emit_stats, ledger)
+    print(f"[repro.metrics] run ledger written to {args.emit_stats}", file=sys.stderr)
+
+
+def stats_main(argv: list[str]) -> int:
+    """The ``stats`` subcommand: pretty-print a run ledger."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness stats",
+        description="Pretty-print a run ledger written by --emit-stats.",
+    )
+    parser.add_argument("ledger", help="path to a run-ledger JSON file")
+    args = parser.parse_args(argv)
+    try:
+        ledger = read_ledger(args.ledger)
+    except (OSError, LedgerError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        print(format_ledger(ledger))
+    except BrokenPipeError:  # e.g. `stats run.json | head`
+        sys.stderr.close()  # suppress the interpreter's epilogue warning
     return 0
 
 
@@ -116,6 +204,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "cache":
         return cache_main(argv[1:])
+    if argv and argv[0] == "stats":
+        return stats_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -144,6 +234,7 @@ def main(argv: list[str] | None = None) -> int:
         help="bypass the artifact store: recompute everything, write nothing",
     )
     _add_cache_flags(parser)
+    _add_stats_flags(parser)
     args = parser.parse_args(argv)
 
     store = None if args.no_cache else ArtifactStore(args.cache_dir)
@@ -151,10 +242,18 @@ def main(argv: list[str] | None = None) -> int:
         scale=args.scale, seed=args.seed, store=store, jobs=args.jobs
     )
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
-    for name in names:
-        print(_render(name, matrix))
-        print()
+    with profiled(enabled=args.profile):
+        for name in names:
+            print(_render(name, matrix))
+            print()
     print(matrix.summary(), file=sys.stderr)
+    if args.emit_stats:
+        ledger = build_run_ledger(argv, names, matrix, registry=get_registry())
+        write_ledger(args.emit_stats, ledger)
+        print(
+            f"[repro.metrics] run ledger written to {args.emit_stats}",
+            file=sys.stderr,
+        )
     return 0
 
 

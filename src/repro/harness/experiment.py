@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
 
+from repro.metrics import MetricsRegistry, get_registry
 from repro.trace.injector import MicroOpInjector
 from repro.trace.stream import DynamicTrace
 from repro.optimizer.pipeline import FrameOptimizer, OptimizerConfig
@@ -103,8 +104,15 @@ def run_experiment(
     trace: DynamicTrace,
     config: ExperimentConfig,
     workload_name: str | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> ExperimentResult:
-    """Simulate one workload trace under one configuration."""
+    """Simulate one workload trace under one configuration.
+
+    Measurements land in ``metrics`` (the process-global registry when
+    not given): simulation counters, the seven cycle-accounting bins,
+    sequencer/frame-cache activity, and per-pass optimizer changes.
+    """
+    registry = metrics if metrics is not None else get_registry()
     injector = MicroOpInjector()
     injected = injector.inject_trace(trace)
 
@@ -114,7 +122,11 @@ def run_experiment(
     elif config.frontend == "tcache":
         sequencer = TraceCacheSequencer(injected, config.processor)
     elif config.frontend == "replay":
-        optimizer = FrameOptimizer(config.optimizer) if config.optimize else None
+        optimizer = (
+            FrameOptimizer(config.optimizer, metrics=registry)
+            if config.optimize
+            else None
+        )
         sequencer = RePLaySequencer(
             injected,
             config.processor,
@@ -126,7 +138,8 @@ def run_experiment(
         raise ValueError(f"unknown frontend {config.frontend!r}")
 
     pipeline = PipelineModel(config.processor)
-    sim = pipeline.simulate(sequencer)
+    with registry.timer("time.simulate"):
+        sim = pipeline.simulate(sequencer)
 
     result = ExperimentResult(
         config_name=config.name,
@@ -141,7 +154,68 @@ def run_experiment(
             result.frames_verified = verifier.instances_checked
     elif isinstance(sequencer, ICacheSequencer):
         result.sequencer_stats = sequencer.stats
+    _publish_metrics(registry, config, sequencer, sim, result)
     return result
+
+
+def _publish_metrics(
+    registry: MetricsRegistry, config, sequencer, sim, result
+) -> None:
+    """Fold one simulation's component counters into the registry.
+
+    Components keep plain-int counters on their hot paths; this single
+    coarse publication step is what keeps metrics overhead negligible
+    while still exposing every layer's activity.
+    """
+    counter = registry.counter
+    counter("sim.runs").inc()
+    counter("sim.cycles").inc(sim.cycles)
+    counter("sim.x86_retired").inc(sim.x86_retired)
+    counter("sim.uops_fetched").inc(sim.uops_fetched)
+    counter("sim.loads_executed").inc(sim.loads_executed)
+    counter("sim.stores_executed").inc(sim.stores_executed)
+    counter("sim.branch_mispredicts").inc(sim.branch_mispredicts)
+    counter("sim.frames_fetched").inc(sim.frames_fetched)
+    counter("sim.frames_fired").inc(sim.frames_fired)
+    for bin_name, cycles in sim.bins.items():
+        counter(f"timing.bin.{bin_name}").inc(cycles)
+    counter("timing.window_occupancy_sum").inc(sim.window_occupancy_sum)
+    counter("timing.window_occupancy_samples").inc(sim.window_occupancy_samples)
+    registry.histogram("timing.window_occupancy_mean").observe(
+        sim.window_occupancy_mean
+    )
+    stats = result.sequencer_stats
+    if stats is not None:
+        counter("sequencer.raw_uops_total").inc(stats.raw_uops_total)
+        counter("sequencer.frame_dispatches").inc(stats.frame_dispatches)
+        counter("sequencer.frame_aborts").inc(stats.frame_aborts)
+        counter("sequencer.unsafe_aborts").inc(stats.unsafe_aborts)
+        counter("sequencer.cooldown_skips").inc(stats.cooldown_skips)
+        counter("sequencer.frame_raw_uops").inc(stats.frame_raw_uops)
+        counter("sequencer.frame_fetched_uops").inc(stats.frame_fetched_uops)
+    if isinstance(sequencer, RePLaySequencer):
+        cache = sequencer.frame_cache
+        counter("frame_cache.hits").inc(cache.hits)
+        counter("frame_cache.misses").inc(cache.misses)
+        counter("frame_cache.evictions").inc(cache.evictions)
+        counter("frame_cache.displacements").inc(cache.displacements)
+        counter("frame_cache.rejections").inc(cache.rejections)
+        totals = sequencer.queue.totals
+        counter("optimizer.frames_optimized").inc(totals.frames_optimized)
+        counter("optimizer.frames_dropped").inc(totals.frames_dropped)
+        counter("optimizer.uops_removed").inc(totals.uops_removed)
+        counter("optimizer.loads_removed").inc(totals.loads_removed)
+        counter("optimizer.loads_removed_speculatively").inc(
+            totals.loads_removed_speculatively
+        )
+        counter("optimizer.stores_marked_unsafe").inc(totals.stores_marked_unsafe)
+    registry.event(
+        "experiment",
+        workload=result.workload,
+        config=config.name,
+        cycles=sim.cycles,
+        ipc_x86=round(sim.ipc_x86, 4),
+    )
 
 
 def run_configs(

@@ -1,0 +1,45 @@
+"""Lightweight, zero-dependency observability for the reproduction.
+
+Three pieces:
+
+* :mod:`repro.metrics.registry` — process-local counters, gauges,
+  histograms, scoped timers, and a ring-buffer event trace, with
+  deterministic cross-process merging;
+* :mod:`repro.metrics.ledger` — the versioned JSON run ledger written
+  by ``--emit-stats`` and rendered by the ``stats`` CLI subcommand;
+* :mod:`repro.metrics.profile` — the ``--profile`` cProfile wrapper.
+"""
+
+from repro.metrics.ledger import (
+    LEDGER_VERSION,
+    LedgerError,
+    build_run_ledger,
+    format_ledger,
+    read_ledger,
+    validate_ledger,
+    write_ledger,
+)
+from repro.metrics.profile import profiled
+from repro.metrics.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LEDGER_VERSION",
+    "LedgerError",
+    "MetricsRegistry",
+    "build_run_ledger",
+    "format_ledger",
+    "get_registry",
+    "profiled",
+    "read_ledger",
+    "validate_ledger",
+    "write_ledger",
+]

@@ -1,0 +1,42 @@
+"""``--profile``: wrap a run in cProfile and report hotspots to stderr.
+
+Kept separate from the registry so importing :mod:`repro.metrics` stays
+cheap and the profiler is only constructed when explicitly requested.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+from contextlib import contextmanager
+
+#: How many cumulative-time entries ``--profile`` prints.
+TOP_N = 20
+
+
+@contextmanager
+def profiled(enabled: bool = True, top_n: int = TOP_N, stream=None):
+    """Profile the wrapped block; dump top-``top_n`` hotspots to stderr.
+
+    With ``enabled=False`` this is a no-op context manager, so call
+    sites can wrap unconditionally (``with profiled(args.profile): ...``)
+    and pay nothing when the flag is off.
+    """
+    if not enabled:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats(pstats.SortKey.CUMULATIVE)
+        stats.print_stats(top_n)
+        out = stream if stream is not None else sys.stderr
+        print(f"[repro.metrics] cProfile top {top_n} by cumulative time:", file=out)
+        print(buffer.getvalue().rstrip(), file=out)

@@ -35,11 +35,17 @@ class PassStats:
 
 @dataclass
 class OptContext:
-    """Per-frame optimization context shared by all passes."""
+    """Per-frame optimization context shared by all passes.
+
+    ``metrics`` is an optional :class:`repro.metrics.MetricsRegistry`;
+    when attached, :meth:`Pass.__call__` counts each pass's changes into
+    it (``optimizer.pass.<name>.changes``) as they happen.
+    """
 
     scope: str = "frame"  # 'frame' | 'inter' | 'block'
     speculation: bool = True
     stats: PassStats = field(default_factory=PassStats)
+    metrics: object | None = None
 
     def can_fold(
         self, buf: OptimizationBuffer, through_slot: int, consumer_slot: int
@@ -71,6 +77,8 @@ class Pass:
     def __call__(self, buf: OptimizationBuffer, ctx: OptContext) -> int:
         changes = self.run(buf, ctx)
         ctx.stats.record(self.name, changes)
+        if changes and ctx.metrics is not None:
+            ctx.metrics.counter(f"optimizer.pass.{self.name}.changes").inc(changes)
         return changes
 
     def run(self, buf: OptimizationBuffer, ctx: OptContext) -> int:

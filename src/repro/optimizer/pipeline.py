@@ -88,10 +88,18 @@ class OptimizationResult:
 
 
 class FrameOptimizer:
-    """Applies the optimization passes to frames."""
+    """Applies the optimization passes to frames.
 
-    def __init__(self, config: OptimizerConfig | None = None) -> None:
+    ``metrics`` (a :class:`repro.metrics.MetricsRegistry`, optional) is
+    handed to each pass invocation so per-pass change counters accumulate
+    live; with ``None`` the hook costs nothing.
+    """
+
+    def __init__(
+        self, config: OptimizerConfig | None = None, metrics=None
+    ) -> None:
         self.config = config or OptimizerConfig()
+        self.metrics = metrics
         self._passes = self._build_passes()
 
     def _build_passes(self) -> list:
@@ -117,6 +125,7 @@ class FrameOptimizer:
         ctx = OptContext(
             scope=self.config.scope,
             speculation=self.config.speculation,
+            metrics=self.metrics,
         )
         uops_before = buffer.valid_count()
         loads_before = buffer.load_count()

@@ -23,6 +23,8 @@ class FrameCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.displacements = 0  # same-PC replacement by a newer frame
+        self.rejections = 0  # insert refused (proven incumbent kept)
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -65,10 +67,12 @@ class FrameCache:
             and existing.path_key != frame.path_key
             and frame.x86_count <= existing.x86_count
         ):
+            self.rejections += 1
             return False
         existing = self._frames.pop(frame.start_pc, None)
         if existing is not None:
             self._stored_uops -= existing.uop_count
+            self.displacements += 1
         self._frames[frame.start_pc] = frame
         self._stored_uops += frame.uop_count
         while self._stored_uops > self.capacity_uops and len(self._frames) > 1:

@@ -10,7 +10,7 @@ cache once the modeled latency has elapsed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.optimizer.pipeline import FrameOptimizer
 from repro.replay.frame import Frame
@@ -29,6 +29,17 @@ class OptimizerTotals:
     loads_after: int = 0
     loads_removed_speculatively: int = 0
     stores_marked_unsafe: int = 0
+    #: per-pass change counts summed over every optimized frame — the
+    #: run ledger's ``passes`` section (Table 3's per-pass view).
+    changes_by_pass: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def uops_removed(self) -> int:
+        return self.uops_before - self.uops_after
+
+    @property
+    def loads_removed(self) -> int:
+        return self.loads_before - self.loads_after
 
     @property
     def uop_reduction(self) -> float:
@@ -99,6 +110,9 @@ class OptimizationQueue:
             stats = frame.opt_result.stats
             totals.loads_removed_speculatively += stats.loads_removed_speculatively
             totals.stores_marked_unsafe += stats.stores_marked_unsafe
+            by_pass = totals.changes_by_pass
+            for pass_name, changes in stats.changes_by_pass.items():
+                by_pass[pass_name] = by_pass.get(pass_name, 0) + changes
 
     def drain(self, now: int) -> None:
         """Deposit frames whose modeled optimization latency has elapsed."""

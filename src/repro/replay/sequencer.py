@@ -38,6 +38,7 @@ class SequencerStats:
     frame_dispatches: int = 0
     frame_aborts: int = 0
     unsafe_aborts: int = 0
+    cooldown_skips: int = 0  # dispatch opportunities skipped post-fire
 
     @property
     def dynamic_uop_reduction(self) -> float:
@@ -122,6 +123,7 @@ class RePLaySequencer(ICacheSequencer):
         if frame is not None and frame.uop_count:
             if frame.cooldown > 0:
                 frame.cooldown -= 1
+                self.stats.cooldown_skips += 1
             elif self._instance_commits(frame):
                 return self._dispatch_frame(frame, cycle)
             else:

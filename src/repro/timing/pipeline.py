@@ -79,6 +79,16 @@ class SimResult:
     frames_fired: int = 0
     frame_x86_coverage: int = 0
     branch_mispredicts: int = 0
+    #: scheduling-window occupancy, sampled once per fetch chunk.
+    window_occupancy_sum: int = 0
+    window_occupancy_samples: int = 0
+
+    @property
+    def window_occupancy_mean(self) -> float:
+        """Mean in-flight uops at fetch time (512-entry window pressure)."""
+        if not self.window_occupancy_samples:
+            return 0.0
+        return self.window_occupancy_sum / self.window_occupancy_samples
 
     @property
     def ipc_x86(self) -> float:
@@ -233,6 +243,8 @@ class PipelineModel:
             self.cycle += 1
             while inflight and inflight[0] <= self.cycle:
                 inflight.popleft()
+        self.result.window_occupancy_sum += len(inflight)
+        self.result.window_occupancy_samples += 1
 
     # ------------------------------------------------------------ execute
 

@@ -86,6 +86,10 @@ class Translator:
             return self._decode_mov(instr)
         if mnem in (Mnemonic.MOVZX, Mnemonic.MOVSX):
             dst, src = ops
+            if not isinstance(src, Mem):
+                raise TranslationError(
+                    f"{mnem.name} requires a memory source: {instr}"
+                )
             load = Uop(UopOp.LOAD, dst=_ureg(dst), **_mem_operands(src))
             load.sign_extend = mnem is Mnemonic.MOVSX
             return [load]

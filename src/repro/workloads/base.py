@@ -16,9 +16,11 @@ produces the dynamic trace the rest of the system consumes.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.metrics import MetricsRegistry, get_registry
 from repro.trace.stream import DynamicTrace
 from repro.x86.assembler import Assembler, Program
 from repro.x86.emulator import Emulator
@@ -82,16 +84,31 @@ def build_workload(
     scale: int | None = None,
     seed: int = 1,
     max_instructions: int = 400_000,
+    metrics: MetricsRegistry | None = None,
 ) -> DynamicTrace:
-    """Build and run a workload, returning its dynamic trace."""
+    """Build and run a workload, returning its dynamic trace.
+
+    Emulation throughput (instructions emulated, wall time, insts/sec)
+    lands in ``metrics`` (the process-global registry when not given).
+    """
+    registry = metrics if metrics is not None else get_registry()
     workload = get_workload(name)
     program = workload.build(scale or workload.default_scale, seed)
     emulator = Emulator(program)
+    start = time.perf_counter()
     records = emulator.run(max_instructions)
+    elapsed = time.perf_counter() - start
     if not emulator.halted:
         raise RuntimeError(
             f"workload {name!r} did not finish within {max_instructions} "
             f"instructions; lower its scale"
+        )
+    registry.counter("emulator.runs").inc()
+    registry.counter("emulator.instructions").inc(len(records))
+    registry.histogram("time.emulate").observe(elapsed)
+    if elapsed > 0:
+        registry.histogram("emulator.insts_per_sec").observe(
+            len(records) / elapsed
         )
     return DynamicTrace(records, name=name)
 

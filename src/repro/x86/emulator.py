@@ -182,12 +182,18 @@ class Emulator:
             pass
         elif mnem is Mnemonic.MOV:
             self._write(ops[0], self._read(ops[1]))
-        elif mnem is Mnemonic.MOVZX:
-            self._write(ops[0], self._read(ops[1]))
-        elif mnem is Mnemonic.MOVSX:
-            src: Mem = ops[1]  # type: ignore[assignment]
-            raw = self._read(src)
-            self._write(ops[0], to_signed(raw, 8 * src.size) & MASK32)
+        elif mnem in (Mnemonic.MOVZX, Mnemonic.MOVSX):
+            src = ops[1]
+            if not isinstance(src, Mem):
+                # Keeps the emulator honest about the same contract the
+                # uop translator enforces (LOAD with extension).
+                raise EmulationError(
+                    f"{mnem.name} requires a memory source, got {src!r}"
+                )
+            raw = self._read(src) & ((1 << (8 * src.size)) - 1)
+            if mnem is Mnemonic.MOVSX:
+                raw = to_signed(raw, 8 * src.size) & MASK32
+            self._write(ops[0], raw)
         elif mnem is Mnemonic.LEA:
             self._write(ops[0], self.mem_address(ops[1]))  # no memory access
         elif mnem in (Mnemonic.ADD, Mnemonic.SUB, Mnemonic.CMP):

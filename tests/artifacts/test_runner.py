@@ -4,11 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.artifacts.runner import MatrixTask, run_matrix
+from repro.artifacts.runner import MatrixTask, MatrixTaskError, run_matrix
 from repro.artifacts.store import ArtifactStore
 from repro.harness import report
 from repro.harness.experiment import CONFIGS
 from repro.harness.figures import ResultMatrix, run_fig6
+from repro.metrics import MetricsRegistry
 
 #: Small, fast workloads — the matrix shape is what's under test.
 WORKLOADS = ["vortex", "power"]
@@ -106,3 +107,91 @@ def test_matrix_ensure_deduplicates():
 def test_jobs_clamped_to_task_count():
     run = run_matrix(TASKS[:1], jobs=8)
     assert run.jobs == 1  # one task: runs serially in-process
+
+
+# ------------------------------------------------------- error handling
+
+#: A task whose worker raises (unknown workload -> KeyError inside the
+#: cell computation, not in pool infrastructure).
+BAD_TASK = MatrixTask("no-such-workload", CONFIGS["IC"])
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_task_error_raises_matrix_task_error(jobs):
+    """A failing cell must surface its own error, labelled, immediately —
+    never be misread as a broken pool and re-run serially."""
+    with pytest.raises(MatrixTaskError) as excinfo:
+        run_matrix([TASKS[0], BAD_TASK], jobs=jobs)
+    error = excinfo.value
+    assert error.workload == "no-such-workload"
+    assert error.config_name == "IC"
+    assert "no-such-workload/IC" in str(error)
+    assert isinstance(error.__cause__, KeyError)  # original chained
+
+
+def test_task_error_does_not_count_pool_fallback():
+    registry = MetricsRegistry()
+    with pytest.raises(MatrixTaskError):
+        run_matrix([BAD_TASK], jobs=2, metrics=registry)
+    assert "runner.pool_fallbacks" not in registry.counters()
+
+
+# ------------------------------------------------- cross-worker metrics
+
+
+def _deterministic(counters: dict) -> dict:
+    """Counter totals that must not depend on worker/process scheduling.
+
+    Emulation and store counters legitimately differ (each pool worker
+    keeps its own trace memo and store handle); everything a simulation
+    itself measures must not.
+    """
+    return {
+        name: value
+        for name, value in counters.items()
+        if not name.startswith(("emulator.", "store."))
+    }
+
+
+def test_parallel_metrics_merge_equals_serial():
+    serial_reg = MetricsRegistry()
+    parallel_reg = MetricsRegistry()
+    run_matrix(TASKS, jobs=1, metrics=serial_reg)
+    run_matrix(TASKS, jobs=2, metrics=parallel_reg)
+    serial = _deterministic(serial_reg.counters())
+    parallel = _deterministic(parallel_reg.counters())
+    assert serial == parallel
+    assert serial["sim.runs"] == len(TASKS)
+    assert serial["sim.cycles"] > 0
+
+
+def test_fig6_parallel_metrics_merge_equals_serial():
+    """The satellite acceptance case: a fig6-shaped matrix aggregates
+    identical deterministic counter totals under jobs=1 and jobs=2."""
+    tasks = [
+        MatrixTask(workload, CONFIGS[config])
+        for workload in WORKLOADS
+        for config in ("IC", "TC", "RP", "RPO")
+    ]
+    serial_reg = MetricsRegistry()
+    parallel_reg = MetricsRegistry()
+    run_matrix(tasks, jobs=1, metrics=serial_reg)
+    run_matrix(tasks, jobs=2, metrics=parallel_reg)
+    assert _deterministic(serial_reg.counters()) == _deterministic(
+        parallel_reg.counters()
+    )
+    # The optimizer pass counters flowed through worker snapshots.
+    assert serial_reg.counters()["optimizer.pass.dce.changes"] > 0
+
+
+def test_store_telemetry_published_once(tmp_path):
+    registry = MetricsRegistry()
+    store = ArtifactStore(tmp_path)
+    run_matrix(TASKS, jobs=1, store=store, metrics=registry)
+    cold_writes = registry.counters()["store.writes"]
+    assert cold_writes > 0
+
+    run_matrix(TASKS, jobs=1, store=store, metrics=registry)
+    counters = registry.counters()
+    assert counters["store.writes"] == cold_writes  # delta-published
+    assert counters["store.hits"] >= len(TASKS)

@@ -211,3 +211,69 @@ def test_stats_shape(store, vortex_trace):
     assert stats["entries"] == 1
     assert stats["kinds"]["trace"]["entries"] == 1
     assert stats["bytes"] > 0
+
+
+# --------------------------------------------------- discard/telemetry
+
+
+def test_discard_failure_is_counted_and_logged(store, caplog):
+    """A deletion failure must be visible: warning + counter, not pass."""
+    key = content_key("result", {"victim": 1})
+    path = store.put_bytes("result", key, b"payload")
+
+    real_unlink = store_mod.Path.unlink
+
+    def failing_unlink(self, missing_ok=False):
+        if self == path:
+            raise OSError("device busy")
+        return real_unlink(self, missing_ok=missing_ok)
+
+    import logging
+    from unittest import mock
+
+    with mock.patch.object(store_mod.Path, "unlink", failing_unlink):
+        with caplog.at_level(logging.WARNING, logger="repro.artifacts"):
+            store._discard(path)
+    assert store.telemetry.discard_failed == 1
+    assert any("could not discard" in r.message for r in caplog.records)
+
+
+def test_discard_missing_file_is_not_a_failure(store):
+    store._discard(store.root / "result" / "aa" / "gone.art")
+    assert store.telemetry.discard_failed == 0
+
+
+def test_stale_result_never_drives_hits_negative(store):
+    """The hit-to-miss telemetry correction must clamp at zero even if
+    telemetry was reset between the read and the decode."""
+    key = content_key("result", {"stale": 1})
+    store.put_bytes("result", key, b"not a pickle")
+    store.telemetry = store_mod.StoreTelemetry()  # simulate external reset
+    store.telemetry.hits = 0
+    # Force the path where get_bytes's hit is missing from telemetry.
+    store._reclassify_hit_as_miss()
+    assert store.telemetry.hits == 0
+    assert store.telemetry.misses == 1
+    assert store.telemetry.stale == 1
+
+
+def test_stale_result_reclassifies_hit(store):
+    key = content_key("result", {"stale": 2})
+    store.put_bytes("result", key, b"not a pickle")
+    assert store.get_result(key) is None
+    assert store.telemetry.hits == 0  # the envelope hit was taken back
+    assert store.telemetry.misses == 1
+    assert store.telemetry.stale == 1
+
+
+def test_format_version_bump_invalidates(store):
+    """v2 stores must treat v1 entries as stale misses (the documented
+    invalidation path for the pickled-layout change)."""
+    key = content_key("result", {"old": 1})
+    path = store.put_bytes("result", key, b"x")
+    data = bytearray(path.read_bytes())
+    struct.pack_into("<H", data, 4, store_mod.FORMAT_VERSION - 1)
+    path.write_bytes(bytes(data))
+    assert store.get_bytes("result", key) is None
+    assert store.telemetry.stale == 1
+    assert not path.exists()  # stale entry dropped

@@ -1,9 +1,13 @@
 """Harness CLI (fast experiments only; fig6 etc. covered by benches)."""
 
+import os
+import time
+
 import pytest
 
 from repro.artifacts.store import ArtifactStore, content_key
-from repro.harness.cli import EXPERIMENTS, cache_main, main
+from repro.harness.cli import EXPERIMENTS, _format_age, cache_main, main
+from repro.metrics import read_ledger
 
 
 def test_table2_renders(capsys):
@@ -89,3 +93,78 @@ def test_cache_gc(capsys, tmp_path):
 def test_cache_gc_requires_budget(tmp_path):
     with pytest.raises(SystemExit):
         cache_main(["gc", "--cache-dir", str(tmp_path)])
+
+
+# ------------------------------------------------------------ entry ages
+
+
+def test_format_age_clamps_future_mtimes():
+    assert _format_age(-120.0) == "<1s"
+    assert _format_age(0.4) == "<1s"
+    assert _format_age(90.0) == "90s"
+
+
+def test_cache_ls_future_mtime_never_negative(capsys, tmp_path):
+    store = _populate(tmp_path)
+    entry = next(store.entries())
+    future = time.time() + 3600
+    os.utime(entry.path, (future, future))
+    assert cache_main(["ls", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "-" not in out.split("old")[0].split("B")[-1]
+    assert "<1s old" in out
+
+
+# ------------------------------------------------------------ run ledger
+
+
+def test_emit_stats_writes_valid_ledger(capsys, tmp_path):
+    ledger_path = tmp_path / "run.json"
+    assert main(["table2", "--no-cache", "--emit-stats", str(ledger_path)]) == 0
+    captured = capsys.readouterr()
+    assert "run ledger written" in captured.err
+    assert "run ledger written" not in captured.out
+    ledger = read_ledger(ledger_path)  # validates the schema
+    assert ledger["command"]["experiments"] == ["table2"]
+
+
+def test_emit_stats_does_not_change_stdout(capsys, tmp_path):
+    assert main(["table2", "--no-cache"]) == 0
+    plain = capsys.readouterr().out
+    assert main(
+        ["table2", "--no-cache", "--emit-stats", str(tmp_path / "x.json")]
+    ) == 0
+    assert capsys.readouterr().out == plain
+
+
+def test_stats_subcommand_pretty_prints(capsys, tmp_path):
+    ledger_path = tmp_path / "run.json"
+    main(["table2", "--no-cache", "--emit-stats", str(ledger_path)])
+    capsys.readouterr()
+    assert main(["stats", str(ledger_path)]) == 0
+    out = capsys.readouterr().out
+    assert "run ledger v1" in out
+
+
+def test_stats_subcommand_rejects_bad_file(capsys, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    assert main(["stats", str(bad)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_profile_flag_prints_hotspots_to_stderr(capsys):
+    assert main(["table2", "--no-cache", "--profile"]) == 0
+    captured = capsys.readouterr()
+    assert "cProfile top" in captured.err
+    assert "cProfile" not in captured.out
+
+
+def test_cache_subcommand_emits_ledger(capsys, tmp_path):
+    _populate(tmp_path)
+    ledger_path = tmp_path / "cache.json"
+    assert cache_main(
+        ["stats", "--cache-dir", str(tmp_path), "--emit-stats", str(ledger_path)]
+    ) == 0
+    ledger = read_ledger(ledger_path)
+    assert ledger["command"]["experiments"] == ["cache-stats"]

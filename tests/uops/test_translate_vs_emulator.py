@@ -70,6 +70,72 @@ def test_alu_flag_torture():
     assert_trace_matches(asm)
 
 
+def test_movzx_movsx_zero_extension_with_dirty_registers():
+    """MOVZX/MOVSX must replace *all* destination bits.
+
+    Every destination register starts as all-ones so an implementation
+    that merely copies the masked load (a plain-MOV MOVZX) still passes,
+    but one that forgets the source width and writes 32 loaded bits, or
+    merges into the old register value, fails.  Source bytes have their
+    high bits set: 0x80/0xFF (byte) and 0x8000/0xFFFF (word).
+    """
+    asm = Assembler()
+    asm.data_words(0x600000, [0x0000FF80, 0x8000FFFF, 0xFFFFFFFF])
+    asm.mov(Reg.ESI, Imm(0x600000))
+    for reg in (Reg.EAX, Reg.EBX, Reg.ECX, Reg.EDX):
+        asm.mov(reg, Imm(0xFFFFFFFF))
+    asm.movzx(Reg.EAX, mem(Reg.ESI, size=1))  # 0x80 -> 0x00000080
+    asm.movsx(Reg.EBX, mem(Reg.ESI, size=1))  # 0x80 -> 0xFFFFFF80
+    asm.movzx(Reg.ECX, mem(Reg.ESI, disp=1, size=1))  # 0xFF -> 0x000000FF
+    asm.movsx(Reg.EDX, mem(Reg.ESI, disp=1, size=1))  # 0xFF -> 0xFFFFFFFF
+    asm.mov(mem(Reg.ESI, disp=12, size=4), Reg.EAX)
+    asm.mov(mem(Reg.ESI, disp=16, size=4), Reg.EBX)
+    for reg in (Reg.EAX, Reg.EBX, Reg.ECX, Reg.EDX):
+        asm.mov(reg, Imm(0xFFFFFFFF))
+    asm.movzx(Reg.EAX, mem(Reg.ESI, disp=4, size=2))  # 0xFFFF -> 0x0000FFFF
+    asm.movsx(Reg.EBX, mem(Reg.ESI, disp=4, size=2))  # 0xFFFF -> 0xFFFFFFFF
+    asm.movzx(Reg.ECX, mem(Reg.ESI, disp=6, size=2))  # 0x8000 -> 0x00008000
+    asm.movsx(Reg.EDX, mem(Reg.ESI, disp=6, size=2))  # 0x8000 -> 0xFFFF8000
+    asm.mov(mem(Reg.ESI, disp=20, size=4), Reg.ECX)
+    asm.mov(mem(Reg.ESI, disp=24, size=4), Reg.EDX)
+    asm.ret()
+    assert_trace_matches(asm)
+
+
+def test_movzx_values_against_emulator_registers():
+    """Spot-check the architectural values directly, not just agreement."""
+    asm = Assembler()
+    asm.data_words(0x600000, [0x0000FF80, 0x8000FFFF])
+    asm.mov(Reg.ESI, Imm(0x600000))
+    asm.mov(Reg.EAX, Imm(0xFFFFFFFF))
+    asm.mov(Reg.EBX, Imm(0xFFFFFFFF))
+    asm.movzx(Reg.EAX, mem(Reg.ESI, size=1))
+    asm.movsx(Reg.EBX, mem(Reg.ESI, disp=6, size=2))
+    asm.ret()
+    program = asm.assemble()
+    emulator = Emulator(program)
+    emulator.run()
+    assert emulator.regs[Reg.EAX] == 0x00000080
+    assert emulator.regs[Reg.EBX] == 0xFFFF8000
+
+
+def test_movzx_register_source_rejected():
+    """Non-memory MOVZX/MOVSX sources fail loudly in both layers."""
+    from repro.uops.translate import Translator, TranslationError
+    from repro.x86 import EmulationError
+    from repro.x86.instructions import Instruction, Mnemonic
+
+    instr = Instruction(Mnemonic.MOVZX, (Reg.EAX, Reg.EBX))
+    with pytest.raises(TranslationError):
+        Translator().translate(instr)
+
+    asm = Assembler()
+    asm.emit(Mnemonic.MOVZX, Reg.EAX, Reg.EBX)
+    asm.ret()
+    with pytest.raises(EmulationError):
+        Emulator(asm.assemble()).run()
+
+
 def test_memory_widths_and_sign_extension():
     asm = Assembler()
     asm.data_words(0x600000, [0xDEADBEEF, 0x0000FF80])
