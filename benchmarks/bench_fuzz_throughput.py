@@ -1,0 +1,48 @@
+"""Fuzz campaign throughput: programs/sec, serial vs ``--jobs N``.
+
+Each benched campaign is the full differential pipeline — generate,
+emulate, construct frames, optimize under every pass subset, verify —
+so programs/sec here is the number that sizes real campaigns (a 10k-run
+budget, the CI smoke budget).  With ``--json PATH`` the suite writes
+the serial and parallel rates side by side for EXPERIMENTS.md.
+"""
+
+from repro.fuzz.campaign import CampaignConfig, run_campaign
+
+ITERATIONS = 40
+_SEED = 11
+
+
+def _campaign(jobs: int):
+    return run_campaign(
+        CampaignConfig(seed=_SEED, iterations=ITERATIONS, jobs=jobs, chunk_size=10)
+    )
+
+
+def test_bench_fuzz_campaign_serial(benchmark, bench_records):
+    result = benchmark.pedantic(lambda: _campaign(1), rounds=2, iterations=1)
+    assert result.ok
+    assert result.programs == ITERATIONS
+    bench_records["fuzz_serial"] = {
+        "jobs": 1,
+        "programs": result.programs,
+        "programs_per_sec": round(result.programs_per_sec, 2),
+        "digest": result.digest,
+    }
+
+
+def test_bench_fuzz_campaign_parallel(benchmark, bench_records):
+    result = benchmark.pedantic(lambda: _campaign(4), rounds=2, iterations=1)
+    assert result.ok
+    assert result.programs == ITERATIONS
+    bench_records["fuzz_jobs4"] = {
+        "jobs": 4,
+        "programs": result.programs,
+        "programs_per_sec": round(result.programs_per_sec, 2),
+        "digest": result.digest,
+    }
+    # Reproducibility is part of the contract being benched: the digest
+    # must not depend on how the campaign was parallelised.
+    serial = bench_records.get("fuzz_serial")
+    if serial is not None:
+        assert serial["digest"] == result.digest

@@ -3,13 +3,45 @@
 A session-scoped :class:`ResultMatrix` lets every bench reuse the same
 (workload, configuration) simulations, mirroring how the paper reports
 one set of runs across all its tables and figures.
+
+``--json PATH`` additionally writes a machine-readable summary of any
+bench that populates the ``bench_records`` fixture, e.g.::
+
+    python -m pytest benchmarks/bench_fuzz_throughput.py \
+        --json BENCH_fuzz_throughput.json
 """
+
+import json
+import pathlib
 
 import pytest
 
 from repro.harness.figures import ResultMatrix
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        dest="bench_json",
+        help="write a JSON summary of bench results to this path",
+    )
+
+
 @pytest.fixture(scope="session")
 def matrix() -> ResultMatrix:
     return ResultMatrix()
+
+
+@pytest.fixture(scope="session")
+def bench_records(request):
+    """Mutable dict benches drop summary records into; flushed to the
+    ``--json`` path (if given) when the session ends."""
+    records: dict = {}
+    yield records
+    path = request.config.getoption("bench_json")
+    if path and records:
+        pathlib.Path(path).write_text(
+            json.dumps(records, indent=2, sort_keys=True) + "\n"
+        )

@@ -44,8 +44,8 @@ log = logging.getLogger("repro.artifacts")
 MAX_INSTRUCTIONS = 400_000
 
 
-class MatrixTaskError(RuntimeError):
-    """A matrix cell's own computation failed.
+class TaskError(RuntimeError):
+    """A task's own computation failed.
 
     Distinct from pool-infrastructure trouble on purpose: a bug in a
     workload or pass must surface immediately with its original
@@ -54,13 +54,20 @@ class MatrixTaskError(RuntimeError):
     same error minutes later.
     """
 
+    def __init__(self, label: str, original: BaseException):
+        self.label = label
+        super().__init__(
+            f"{label} failed: {type(original).__name__}: {original}"
+        )
+
+
+class MatrixTaskError(TaskError):
+    """A matrix cell's own computation failed."""
+
     def __init__(self, workload: str, config_name: str, original: BaseException):
         self.workload = workload
         self.config_name = config_name
-        super().__init__(
-            f"matrix cell {workload}/{config_name} failed: "
-            f"{type(original).__name__}: {original}"
-        )
+        super().__init__(f"matrix cell {workload}/{config_name}", original)
 
 
 # ------------------------------------------------------------------ keying
@@ -271,7 +278,8 @@ def compute_cell(
 _WORKER_STORES: dict[str, ArtifactStore] = {}
 
 
-def _worker(task: MatrixTask, store_root: str | None):
+def _worker(payload: tuple[MatrixTask, str | None]):
+    task, store_root = payload
     store = None
     if store_root is not None:
         store = _WORKER_STORES.get(store_root)
@@ -284,6 +292,85 @@ def _worker(task: MatrixTask, store_root: str | None):
 #: legitimate reasons to degrade to a serial run.  Anything else coming
 #: out of a cell is that cell's own bug and must propagate immediately.
 _POOL_ERRORS = (BrokenProcessPool, PicklingError, OSError)
+
+
+def run_tasks(
+    worker,
+    payloads: list,
+    jobs: int = 1,
+    registry: MetricsRegistry | None = None,
+    wrap_error=None,
+) -> tuple[list, int]:
+    """Generic ordered fan-out over a process pool (or serially).
+
+    ``worker`` must be a module-level picklable callable taking one
+    payload; ``payloads`` must pickle.  Results come back in payload
+    order regardless of completion order, so parallel and serial runs
+    are indistinguishable to the caller.  Returns ``(results,
+    effective_jobs)``.
+
+    Error handling is two-tier, shared by the experiment matrix and the
+    fuzz campaign: pool-infrastructure failures (broken pool, pickling,
+    OS errors standing the pool up) degrade to a serial run with a
+    warning and a ``runner.pool_fallbacks`` count; a task's own
+    exception raises a :class:`TaskError` (customized via
+    ``wrap_error(payload, exc) -> TaskError``) with the original
+    traceback chained.
+    """
+    registry = registry if registry is not None else get_registry()
+    results: list = [None] * len(payloads)
+    done = [False] * len(payloads)
+
+    def fail(index: int, exc: BaseException):
+        if wrap_error is not None:
+            raise wrap_error(payloads[index], exc) from exc
+        raise TaskError(f"task {index}", exc) from exc
+
+    effective_jobs = max(1, min(jobs, len(payloads)))
+    if effective_jobs > 1:
+        try:
+            _fan_out(worker, payloads, effective_jobs, results, done, fail)
+        except TaskError:
+            raise
+        except _POOL_ERRORS as exc:
+            log.warning(
+                "process pool unavailable (%s: %s); falling back to serial",
+                type(exc).__name__,
+                exc,
+            )
+            registry.counter("runner.pool_fallbacks").inc()
+            effective_jobs = 1
+    for index, payload in enumerate(payloads):
+        if not done[index]:
+            try:
+                results[index] = worker(payload)
+            except Exception as exc:
+                fail(index, exc)
+    return results, effective_jobs
+
+
+def _fan_out(worker, payloads, jobs, results, done, fail) -> None:
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            index: pool.submit(worker, payload)
+            for index, payload in enumerate(payloads)
+        }
+        for index, future in futures.items():
+            try:
+                results[index] = future.result()
+            except BrokenProcessPool:
+                # A dead pool is infrastructure trouble; let run_tasks
+                # degrade to serial.
+                raise
+            except Exception as exc:
+                # The task itself failed: surface it now instead of
+                # re-running everything serially just to hit the same
+                # bug again.
+                fail(index, exc)
+            else:
+                done[index] = True
 
 
 def run_matrix(
@@ -311,37 +398,27 @@ def run_matrix(
     """
     registry = metrics if metrics is not None else get_registry()
     start = time.perf_counter()
-    results: list[ExperimentResult | None] = [None] * len(tasks)
-    telemetry: list[TaskTelemetry | None] = [None] * len(tasks)
-    snapshots: list[dict | None] = [None] * len(tasks)
-
-    effective_jobs = max(1, min(jobs, len(tasks)))
-    if effective_jobs > 1:
-        try:
-            _run_parallel(tasks, effective_jobs, store, results, telemetry, snapshots)
-        except MatrixTaskError:
-            raise
-        except _POOL_ERRORS as exc:
-            log.warning(
-                "process pool unavailable (%s: %s); falling back to serial",
-                type(exc).__name__,
-                exc,
-            )
-            registry.counter("runner.pool_fallbacks").inc()
-            effective_jobs = 1
-    if effective_jobs == 1:
-        for index, task in enumerate(tasks):
-            if results[index] is None:
-                try:
-                    results[index], telemetry[index], snapshots[index] = (
-                        compute_cell(task, store)
-                    )
-                except Exception as exc:
-                    raise MatrixTaskError(
-                        task.workload, task.config.name, exc
-                    ) from exc
-
-    for snapshot in snapshots:
+    store_root = str(store.root) if store is not None else None
+    if store is not None:
+        # Serial execution (and the degrade-to-serial path) runs _worker
+        # in this process: seed the worker cache with the caller's store
+        # so cache hits and telemetry land on the instance the caller
+        # can see.  Pool children build their own from store_root.
+        _WORKER_STORES[store_root] = store
+    outputs, effective_jobs = run_tasks(
+        _worker,
+        [(task, store_root) for task in tasks],
+        jobs=jobs,
+        registry=registry,
+        wrap_error=lambda payload, exc: MatrixTaskError(
+            payload[0].workload, payload[0].config.name, exc
+        ),
+    )
+    results: list[ExperimentResult] = []
+    telemetry: list[TaskTelemetry] = []
+    for result, task_telemetry, snapshot in outputs:
+        results.append(result)
+        telemetry.append(task_telemetry)
         if snapshot is not None:
             registry.merge(snapshot)
     registry.counter("runner.cells").inc(len(tasks))
@@ -373,26 +450,3 @@ def _publish_store_metrics(registry: MetricsRegistry, store: ArtifactStore) -> N
     store._published_telemetry = dict(current)
 
 
-def _run_parallel(tasks, jobs, store, results, telemetry, snapshots) -> None:
-    from concurrent.futures import ProcessPoolExecutor
-
-    store_root = str(store.root) if store is not None else None
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {
-            index: pool.submit(_worker, task, store_root)
-            for index, task in enumerate(tasks)
-            if results[index] is None
-        }
-        for index, future in futures.items():
-            task = tasks[index]
-            try:
-                results[index], telemetry[index], snapshots[index] = future.result()
-            except BrokenProcessPool:
-                # A dead pool is infrastructure trouble; let run_matrix
-                # degrade to serial.
-                raise
-            except Exception as exc:
-                # The cell itself failed: surface the workload/config and
-                # the original traceback now instead of re-running the
-                # whole matrix serially just to hit the same bug again.
-                raise MatrixTaskError(task.workload, task.config.name, exc) from exc

@@ -66,7 +66,8 @@ ENV_CACHE_BUDGET_MB = "REPRO_UOPT_CACHE_BUDGET_MB"
 #: Artifact kinds (subdirectories of the store root).
 KIND_TRACE = "trace"
 KIND_RESULT = "result"
-KINDS = (KIND_TRACE, KIND_RESULT)
+KIND_FUZZ = "fuzz"  # minimized fuzz regression cases (repro.fuzz.corpus)
+KINDS = (KIND_TRACE, KIND_RESULT, KIND_FUZZ)
 
 
 def default_cache_dir() -> Path:

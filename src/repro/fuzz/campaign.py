@@ -1,0 +1,236 @@
+"""Seed-derived, byte-reproducible fuzz campaigns.
+
+A campaign is a range of *program indices*; each index derives its own
+program seed from the campaign seed via SHA-256, so
+
+* the campaign is reproducible from ``(seed, iterations)`` alone — the
+  derivation has no platform-, hash-randomization-, or
+  schedule-dependent inputs;
+* any single program can be regenerated without replaying the campaign
+  (``derive_program_seed(seed, index)``);
+* parallel execution cannot perturb results: indices are chunked, the
+  chunks fan out over :func:`repro.artifacts.runner.run_tasks` (the
+  same ordered pool the experiment matrix uses), and summaries merge in
+  chunk order.
+
+The :class:`CampaignResult` carries a digest over every per-program
+summary; two runs with the same seed and count produce the same digest
+whatever ``--jobs`` was, which the determinism tests assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.artifacts.runner import TaskError, run_tasks
+from repro.metrics import MetricsRegistry
+
+from repro.fuzz.generator import (
+    FuzzProgram,
+    GeneratorConfig,
+    generate_program,
+    program_to_json,
+)
+from repro.fuzz.oracle import Divergence, OracleConfig, run_differential
+
+#: Programs per worker task: large enough to amortize process dispatch,
+#: small enough that --duration budgets stay responsive.
+DEFAULT_CHUNK = 25
+
+
+def derive_program_seed(campaign_seed: int, index: int) -> int:
+    """Stable per-program seed (independent of platform and run shape)."""
+    material = f"repro.fuzz:{campaign_seed}:{index}".encode()
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One campaign: how many programs, from which seed, how parallel."""
+
+    seed: int = 1
+    iterations: int = 1000
+    duration: float | None = None  # seconds; overrides iterations when set
+    jobs: int = 1
+    chunk_size: int = DEFAULT_CHUNK
+    generator: GeneratorConfig = GeneratorConfig()
+    oracle: OracleConfig = OracleConfig()
+
+
+@dataclass
+class DivergentProgram:
+    """A program the oracle flagged, with everything needed to replay it."""
+
+    index: int
+    program_seed: int
+    genome: FuzzProgram
+    divergences: list[Divergence]
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of one campaign."""
+
+    seed: int
+    programs: int = 0
+    frames: int = 0
+    instances: int = 0
+    verified: int = 0
+    unsafe_skips: int = 0
+    trace_records: int = 0
+    seconds: float = 0.0
+    jobs: int = 1
+    digest: str = ""
+    divergent: list[DivergentProgram] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergent
+
+    @property
+    def programs_per_sec(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.programs / self.seconds
+
+
+class FuzzTaskError(TaskError):
+    """A campaign chunk failed outside the oracle's own checks."""
+
+    def __init__(self, first_index: int, original: BaseException):
+        self.first_index = first_index
+        super().__init__(f"fuzz chunk starting at program {first_index}", original)
+
+
+def _chunk_worker(payload: dict):
+    """Run one chunk of program indices (executes in a pool worker)."""
+    registry = MetricsRegistry()
+    generator_config = payload["generator"]
+    oracle_config = payload["oracle"]
+    campaign_seed = payload["seed"]
+    summaries = []
+    for index in payload["indices"]:
+        program_seed = derive_program_seed(campaign_seed, index)
+        genome = generate_program(program_seed, generator_config)
+        report = run_differential(genome, oracle_config, metrics=registry)
+        summary = {
+            "index": index,
+            "program_seed": program_seed,
+            "trace_length": report.trace_length,
+            "frames": report.frames_constructed,
+            "instances": report.instances_committed,
+            "verified": report.instances_verified,
+            "unsafe_skips": report.unsafe_skips,
+            "divergences": [d.to_json() for d in report.divergences],
+        }
+        if report.divergences:
+            summary["genome"] = program_to_json(genome)
+        summaries.append(summary)
+    return summaries, registry.snapshot()
+
+
+def _chunks(start: int, count: int, chunk_size: int) -> list[list[int]]:
+    indices = list(range(start, start + count))
+    return [
+        indices[i : i + chunk_size] for i in range(0, len(indices), chunk_size)
+    ]
+
+
+def run_campaign(
+    config: CampaignConfig,
+    metrics: MetricsRegistry | None = None,
+    progress=None,
+) -> CampaignResult:
+    """Run a campaign; returns aggregate + divergent programs.
+
+    ``progress(programs_done, total_or_None)`` is called after every
+    fan-out batch (for CLI status lines).  With ``duration`` set, whole
+    batches run until the time budget is spent; the program count then
+    depends on machine speed but each *program's* outcome is still
+    seed-deterministic.
+    """
+    result = CampaignResult(seed=config.seed, jobs=config.jobs)
+    start = time.perf_counter()
+    summary_hash = hashlib.sha256()
+    next_index = 0
+
+    def run_batch(count: int) -> None:
+        nonlocal next_index
+        chunks = _chunks(next_index, count, config.chunk_size)
+        next_index += count
+        payloads = [
+            {
+                "seed": config.seed,
+                "indices": chunk,
+                "generator": config.generator,
+                "oracle": config.oracle,
+            }
+            for chunk in chunks
+        ]
+        outputs, effective_jobs = run_tasks(
+            _chunk_worker,
+            payloads,
+            jobs=config.jobs,
+            registry=metrics,
+            wrap_error=lambda payload, exc: FuzzTaskError(
+                payload["indices"][0], exc
+            ),
+        )
+        result.jobs = effective_jobs
+        for summaries, snapshot in outputs:
+            if metrics is not None and snapshot is not None:
+                metrics.merge(snapshot)
+            for summary in summaries:
+                result.programs += 1
+                result.frames += summary["frames"]
+                result.instances += summary["instances"]
+                result.verified += summary["verified"]
+                result.unsafe_skips += summary["unsafe_skips"]
+                result.trace_records += summary["trace_length"]
+                genome_json = summary.pop("genome", None)
+                summary_hash.update(
+                    json.dumps(
+                        summary, sort_keys=True, separators=(",", ":")
+                    ).encode()
+                )
+                if summary["divergences"]:
+                    result.divergent.append(
+                        DivergentProgram(
+                            index=summary["index"],
+                            program_seed=summary["program_seed"],
+                            genome=_genome_back(genome_json),
+                            divergences=[
+                                Divergence.from_json(d)
+                                for d in summary["divergences"]
+                            ],
+                        )
+                    )
+
+    if config.duration is not None:
+        batch = max(config.chunk_size * max(1, config.jobs), 1)
+        while time.perf_counter() - start < config.duration:
+            run_batch(batch)
+            if progress is not None:
+                progress(result.programs, None)
+    else:
+        run_batch(config.iterations)
+        if progress is not None:
+            progress(result.programs, config.iterations)
+
+    result.seconds = time.perf_counter() - start
+    result.digest = summary_hash.hexdigest()
+    if metrics is not None:
+        metrics.counter("fuzz.campaign_programs").inc(result.programs)
+        metrics.gauge("fuzz.programs_per_sec").set(result.programs_per_sec)
+    return result
+
+
+def _genome_back(genome_json: dict | None) -> FuzzProgram:
+    from repro.fuzz.generator import program_from_json
+
+    if genome_json is None:  # pragma: no cover - defensive
+        raise ValueError("divergent summary carried no genome")
+    return program_from_json(genome_json)

@@ -1,0 +1,201 @@
+"""The ``fuzz`` subcommand family.
+
+::
+
+    python -m repro.harness fuzz run --seed 1 --iterations 10000 --jobs 4
+    python -m repro.harness fuzz run --seed 7 --duration 30
+    python -m repro.harness fuzz repro 3f2a91c0
+    python -m repro.harness fuzz corpus ls
+
+``run`` executes a campaign; any divergent program is minimized by the
+delta-debugging shrinker and stored in the artifact corpus, and the
+command exits nonzero.  ``repro`` replays a stored case (by id prefix)
+through the full differential oracle — deterministic by construction,
+since the case carries the genome and rendering is seed-free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.artifacts.store import ArtifactStore
+from repro.metrics import build_run_ledger, get_registry, profiled, write_ledger
+
+from repro.fuzz.campaign import CampaignConfig, run_campaign
+from repro.fuzz.corpus import CorpusError, FuzzCorpus
+from repro.fuzz.oracle import OracleConfig, run_differential
+from repro.fuzz.shrink import shrink_program
+
+
+def fuzz_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness fuzz",
+        description="Differential fuzzing of optimizer/frame semantics.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    run_p = sub.add_parser("run", help="run a fuzz campaign")
+    run_p.add_argument("--seed", type=int, default=1, help="campaign seed")
+    group = run_p.add_mutually_exclusive_group()
+    group.add_argument(
+        "--iterations", type=int, default=1000, help="programs to run"
+    )
+    group.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="run whole batches until this many seconds have elapsed",
+    )
+    run_p.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    run_p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="store divergent programs unminimized",
+    )
+
+    repro_p = sub.add_parser("repro", help="replay a stored divergent case")
+    repro_p.add_argument("case", help="case id (any unambiguous prefix)")
+
+    corpus_p = sub.add_parser("corpus", help="inspect the fuzz corpus")
+    corpus_p.add_argument("corpus_action", choices=("ls",))
+
+    for p in (run_p, repro_p, corpus_p):
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            help="artifact cache root (default: $REPRO_UOPT_CACHE_DIR "
+            "or ~/.cache/repro-uopt)",
+        )
+        p.add_argument(
+            "--emit-stats",
+            metavar="FILE",
+            default=None,
+            help="write a versioned JSON run ledger to FILE after the run",
+        )
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="wrap the run in cProfile and print hotspots to stderr",
+        )
+
+    args = parser.parse_args(argv)
+    store = ArtifactStore(args.cache_dir)
+    with profiled(enabled=args.profile):
+        if args.action == "run":
+            status = _run(args, store)
+        elif args.action == "repro":
+            status = _repro(args, store)
+        else:
+            status = _corpus(args, store)
+    if args.emit_stats:
+        _emit_ledger(argv, args, store)
+    return status
+
+
+def _run(args, store: ArtifactStore) -> int:
+    config = CampaignConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        duration=args.duration,
+        jobs=args.jobs,
+    )
+    registry = get_registry()
+
+    def progress(done: int, total: int | None) -> None:
+        target = f"/{total}" if total else ""
+        print(f"[fuzz] {done}{target} programs", file=sys.stderr)
+
+    result = run_campaign(config, metrics=registry, progress=progress)
+    print(
+        f"campaign seed={result.seed}: {result.programs} programs, "
+        f"{result.frames} frames, {result.instances} frame instances "
+        f"({result.verified} verified), {result.trace_records} trace records"
+    )
+    print(
+        f"{result.seconds:.1f}s at jobs={result.jobs} = "
+        f"{result.programs_per_sec:.1f} programs/sec"
+    )
+    print(f"campaign digest: {result.digest}")
+    if result.ok:
+        print("no divergences")
+        return 0
+
+    corpus = FuzzCorpus(store)
+    print(f"{len(result.divergent)} divergent program(s):")
+    for item in result.divergent:
+        genome = item.genome
+        note = ""
+        if not args.no_shrink:
+            shrunk = shrink_program(genome, config.oracle)
+            genome = shrunk.genome
+            note = (
+                f" (shrunk {shrunk.original_ops}->{shrunk.final_ops} ops "
+                f"in {shrunk.attempts} attempts)"
+            )
+        case_id = corpus.save_case(
+            genome,
+            item.divergences,
+            found={
+                "campaign_seed": result.seed,
+                "index": item.index,
+                "program_seed": item.program_seed,
+            },
+        )
+        kinds = ", ".join(sorted({d.kind for d in item.divergences}))
+        print(f"  {case_id[:16]}  seed={item.program_seed}  {kinds}{note}")
+    return 1
+
+
+def _repro(args, store: ArtifactStore) -> int:
+    corpus = FuzzCorpus(store)
+    try:
+        case = corpus.load_case(args.case)
+    except CorpusError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    from repro.fuzz.generator import program_from_json
+
+    genome = program_from_json(case["program"])
+    start = time.perf_counter()
+    report = run_differential(genome, OracleConfig(), metrics=get_registry())
+    elapsed = time.perf_counter() - start
+    found = case.get("found", {})
+    print(
+        f"case seed={genome.seed} ops={len(genome.ops)} "
+        f"(found in campaign {found.get('campaign_seed')}, "
+        f"index {found.get('index')})"
+    )
+    print(
+        f"trace={report.trace_length} frames={report.frames_constructed} "
+        f"instances={report.instances_committed} "
+        f"verified={report.instances_verified} in {elapsed:.2f}s"
+    )
+    if report.ok:
+        print("no divergence: this case no longer reproduces (fixed)")
+        return 0
+    for d in report.divergences:
+        where = f" @ {d.frame_pc:#x}" if d.frame_pc is not None else ""
+        print(f"  [{d.variant}] {d.kind}{where}: {d.detail}")
+    return 1
+
+
+def _corpus(args, store: ArtifactStore) -> int:
+    cases = FuzzCorpus(store).list_cases()
+    for case in cases:
+        print(f"{case['id'][:16]}  {case['size_bytes']:>7,}B  {case['label']}")
+    print(f"{len(cases)} fuzz case(s) in {store.root}")
+    return 0
+
+
+def _emit_ledger(argv: list[str], args, store: ArtifactStore) -> None:
+    from repro.harness.cli import _NoMatrix
+
+    ledger = build_run_ledger(
+        argv, [f"fuzz-{args.action}"], _NoMatrix(store), registry=get_registry()
+    )
+    write_ledger(args.emit_stats, ledger)
+    print(f"[repro.metrics] run ledger written to {args.emit_stats}", file=sys.stderr)

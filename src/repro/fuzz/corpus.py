@@ -1,0 +1,114 @@
+"""Corpus of minimized divergent programs in the artifact store.
+
+Each case is one JSON document under artifact kind ``fuzz``, keyed by
+the content of its (minimized) genome — saving the same minimized
+program twice, from different campaigns, dedupes to one entry.  The
+case records everything needed to replay and to re-minimize:
+
+* the genome itself (``repro.fuzz.generator`` JSON, version 1);
+* where it was found (campaign seed, program index, derived seed);
+* the divergences the oracle reported at save time.
+
+``fuzz repro <case-id>`` accepts any unambiguous key prefix, like git.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.artifacts.store import KIND_FUZZ, ArtifactStore, content_key
+
+from repro.fuzz.generator import FuzzProgram, program_from_json, program_to_json
+from repro.fuzz.oracle import Divergence
+
+CASE_FORMAT = 1
+
+
+class CorpusError(Exception):
+    """Unknown, ambiguous, or malformed corpus case."""
+
+
+class FuzzCorpus:
+    """Thin typed facade over ``ArtifactStore`` kind ``fuzz``."""
+
+    def __init__(self, store: ArtifactStore | None = None) -> None:
+        self.store = store or ArtifactStore()
+
+    # ------------------------------------------------------------- write
+
+    def save_case(
+        self,
+        genome: FuzzProgram,
+        divergences: list[Divergence],
+        found: dict | None = None,
+    ) -> str:
+        """Persist one case; returns its content key (the case id)."""
+        program_json = program_to_json(genome)
+        case_id = content_key("fuzz", {"program": program_json})
+        kinds = sorted({d.kind for d in divergences})
+        payload = {
+            "format": CASE_FORMAT,
+            "program": program_json,
+            "found": found or {},
+            "divergences": [d.to_json() for d in divergences],
+        }
+        body = json.dumps(payload, sort_keys=True, indent=1).encode("utf-8")
+        label = f"seed={genome.seed} ops={len(genome.ops)} {','.join(kinds)}"
+        self.store.put_bytes(KIND_FUZZ, case_id, body, label=label)
+        return case_id
+
+    # -------------------------------------------------------------- read
+
+    def resolve(self, prefix: str) -> str:
+        """Full case id for an unambiguous id prefix."""
+        matches = [
+            entry.key
+            for entry in self.store.entries()
+            if entry.kind == KIND_FUZZ and entry.key.startswith(prefix)
+        ]
+        if not matches:
+            raise CorpusError(f"no fuzz case matches {prefix!r}")
+        if len(matches) > 1:
+            raise CorpusError(
+                f"ambiguous case prefix {prefix!r}: "
+                + ", ".join(key[:12] for key in sorted(matches))
+            )
+        return matches[0]
+
+    def load_case(self, case_id: str) -> dict:
+        """Case payload for a full or prefixed id."""
+        if len(case_id) < 64:
+            case_id = self.resolve(case_id)
+        body = self.store.get_bytes(KIND_FUZZ, case_id)
+        if body is None:
+            raise CorpusError(f"fuzz case {case_id[:12]} not in store")
+        try:
+            payload = json.loads(body)
+        except ValueError as exc:
+            raise CorpusError(f"fuzz case {case_id[:12]} is not JSON") from exc
+        if payload.get("format") != CASE_FORMAT:
+            raise CorpusError(
+                f"fuzz case {case_id[:12]} has format "
+                f"{payload.get('format')!r} (supported {CASE_FORMAT})"
+            )
+        return payload
+
+    def load_genome(self, case_id: str) -> FuzzProgram:
+        return program_from_json(self.load_case(case_id)["program"])
+
+    def list_cases(self) -> list[dict]:
+        """Summaries of every stored case (id, label, created, size)."""
+        cases = []
+        for entry in self.store.entries():
+            if entry.kind != KIND_FUZZ:
+                continue
+            cases.append(
+                {
+                    "id": entry.key,
+                    "label": entry.label,
+                    "created": entry.created,
+                    "size_bytes": entry.size_bytes,
+                }
+            )
+        cases.sort(key=lambda c: c["created"])
+        return cases

@@ -1,0 +1,174 @@
+"""Delta-debugging shrinker for divergent fuzz programs.
+
+Given a genome the oracle flags, the shrinker searches for the smallest
+edited genome that *still* diverges, so the stored repro and the derived
+regression test exercise one miscompile instead of a 16-op haystack:
+
+1. **ddmin over body ops** — classic delta debugging (Zeller) on the op
+   list: try dropping chunks of exponentially shrinking size, restart at
+   coarse granularity after any success;
+2. **iteration halving** — biased loops need only enough trips to build
+   and dispatch a frame;
+3. **field simplification** — zero the data region, zero scratch
+   register seeds, collapse ``alias_delta`` to 0, and simplify op
+   immediates/displacements toward 0.
+
+Every candidate is judged by re-running the full differential oracle;
+a candidate "still diverges" only if it reports at least one divergence
+whose *kind* appeared in the original report (so shrinking cannot walk
+from an optimizer miscompile to an unrelated artifact).  Candidates
+that fail to render or halt count as non-divergent and are skipped.
+The attempt budget bounds worst-case shrink cost on pathological
+genomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fuzz.generator import FuzzProgram
+from repro.fuzz.oracle import OracleConfig, run_differential
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    genome: FuzzProgram
+    attempts: int
+    reductions: int
+    original_ops: int
+    final_ops: int
+
+    @property
+    def reduced(self) -> bool:
+        return self.reductions > 0
+
+
+def shrink_program(
+    genome: FuzzProgram,
+    oracle_config: OracleConfig | None = None,
+    max_attempts: int = 400,
+) -> ShrinkResult:
+    """Minimize ``genome`` while it keeps diverging; returns the smallest
+    divergent genome found within ``max_attempts`` oracle runs."""
+    oracle_config = oracle_config or OracleConfig()
+    shrinker = _Shrinker(genome, oracle_config, max_attempts)
+    best = shrinker.run()
+    return ShrinkResult(
+        genome=best,
+        attempts=shrinker.attempts,
+        reductions=shrinker.reductions,
+        original_ops=len(genome.ops),
+        final_ops=len(best.ops),
+    )
+
+
+class _Shrinker:
+    def __init__(
+        self, genome: FuzzProgram, config: OracleConfig, max_attempts: int
+    ) -> None:
+        self.config = config
+        self.max_attempts = max_attempts
+        self.attempts = 0
+        self.reductions = 0
+        self.target_kinds = self._divergence_kinds(genome)
+        if not self.target_kinds:
+            raise ValueError("shrink_program called on a non-divergent genome")
+        self.best = genome.copy()
+
+    # ---------------------------------------------------------- predicate
+
+    def _divergence_kinds(self, genome: FuzzProgram) -> set[str]:
+        try:
+            report = run_differential(genome, self.config)
+        except Exception:  # noqa: BLE001 - unrunnable candidate
+            return set()
+        return {d.kind for d in report.divergences}
+
+    def _still_diverges(self, candidate: FuzzProgram) -> bool:
+        if self.attempts >= self.max_attempts:
+            return False
+        self.attempts += 1
+        kinds = self._divergence_kinds(candidate)
+        return bool(kinds & self.target_kinds)
+
+    def _accept(self, candidate: FuzzProgram) -> bool:
+        if self._still_diverges(candidate):
+            self.best = candidate
+            self.reductions += 1
+            return True
+        return False
+
+    # --------------------------------------------------------------- run
+
+    def run(self) -> FuzzProgram:
+        self._ddmin_ops()
+        self._shrink_iterations()
+        self._simplify_fields()
+        # Dropping ops can unlock further drops after simplification.
+        self._ddmin_ops()
+        return self.best
+
+    def _ddmin_ops(self) -> None:
+        """Drop chunks of body ops, halving chunk size on failure."""
+        chunk = max(1, len(self.best.ops) // 2)
+        while chunk >= 1 and self.attempts < self.max_attempts:
+            start = 0
+            progressed = False
+            while start < len(self.best.ops):
+                candidate = self.best.copy()
+                del candidate.ops[start : start + chunk]
+                if candidate.ops and self._accept(candidate):
+                    progressed = True
+                    # Same start now addresses the next chunk.
+                else:
+                    start += chunk
+                if self.attempts >= self.max_attempts:
+                    return
+            if progressed and chunk > 1:
+                chunk = max(1, len(self.best.ops) // 2)  # restart coarse
+            else:
+                chunk //= 2
+
+    def _shrink_iterations(self) -> None:
+        """Halve the loop trip count toward the constructor's minimum."""
+        while self.best.iterations > 2 and self.attempts < self.max_attempts:
+            candidate = self.best.copy()
+            candidate.iterations = max(2, candidate.iterations // 2)
+            if not self._accept(candidate):
+                break
+
+    def _simplify_fields(self) -> None:
+        """Zero out inputs one family at a time; keep what still diverges."""
+        candidate = self.best.copy()
+        candidate.data = [0] * len(candidate.data)
+        self._accept(candidate)
+
+        candidate = self.best.copy()
+        candidate.reg_init = {name: 0 for name in candidate.reg_init}
+        self._accept(candidate)
+
+        if self.best.alias_delta != 0:
+            candidate = self.best.copy()
+            candidate.alias_delta = 0
+            self._accept(candidate)
+
+        # Per-op simplification.  ``FuzzProgram.copy`` is shallow at the
+        # operand level, so every edit rebuilds the op dict (and any
+        # nested operand) instead of mutating in place.
+        for index in range(len(self.best.ops)):
+            if self.attempts >= self.max_attempts:
+                return
+            op = self.best.ops[index]
+            if op.get("disp"):
+                candidate = self.best.copy()
+                candidate.ops[index] = {**op, "disp": 0}
+                self._accept(candidate)
+            op = self.best.ops[index]
+            for key in ("src", "right", "count"):
+                operand = op.get(key)
+                if isinstance(operand, dict) and operand.get("imm"):
+                    candidate = self.best.copy()
+                    candidate.ops[index] = {**op, key: {"imm": 0}}
+                    self._accept(candidate)

@@ -13,6 +13,9 @@ Usage::
     python -m repro.harness cache ls
     python -m repro.harness cache gc --max-mb 256
     python -m repro.harness cache clear
+    python -m repro.harness fuzz run --seed 1 --iterations 10000 --jobs 4
+    python -m repro.harness fuzz repro <case-id>  # replay a stored divergence
+    python -m repro.harness fuzz corpus ls
 
 Experiment runs go through the :mod:`repro.artifacts` store, so a warm
 second run does zero workload emulation; a one-line cache/parallelism
@@ -206,6 +209,10 @@ def main(argv: list[str] | None = None) -> int:
         return cache_main(argv[1:])
     if argv and argv[0] == "stats":
         return stats_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        from repro.fuzz.cli import fuzz_main
+
+        return fuzz_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",

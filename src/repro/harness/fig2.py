@@ -36,11 +36,16 @@ def build_crafty_fragment():
     asm.xor(Reg.EAX, Reg.EAX)  # uop 07
     asm.mov(Reg.EDX, Reg.ECX)  # uop 08
     asm.or_(Reg.EDX, Reg.EBX)  # uop 09
-    asm.jcc(Cond.Z, "block2")  # uop 10
-    asm.label("block2")
+    # In crafty the JZ skips a distinct block; the branch target must not
+    # be the fall-through or the constructor (rightly) drops it as a
+    # degenerate branch instead of converting it to an assertion.
+    asm.jcc(Cond.Z, "zero_case")  # uop 10 (never taken on this trace)
     asm.pop(Reg.EBX)  # uops 11-12
     asm.pop(Reg.EBP)  # uops 13-14
     asm.ret()  # uops 15-17
+    asm.label("zero_case")  # skipped block: gives the JZ a real target
+    asm.mov(Reg.EAX, Imm(1))
+    asm.ret()
     return asm.assemble()
 
 

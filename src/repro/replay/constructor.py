@@ -173,6 +173,12 @@ class FrameConstructor:
                     key = (x86_index, mem_index)
                     mem_index += 1
                 if converted.is_control and not is_exit_instr:
+                    if self._degenerate_branch(converted, record):
+                        # Taken target == fall-through: the direction
+                        # cannot change the frame's path, so an assertion
+                        # here could only fire spuriously (a rollback
+                        # with no architectural cause).  Drop the uop.
+                        continue
                     converted = self._convert_control(converted)
                 dyn_uops.append(converted)
                 x86_indices.append(x86_index)
@@ -203,6 +209,21 @@ class FrameConstructor:
         Figure 2 walkthrough, where the region is chosen by hand.
         """
         return self._frameify(instructions, end_next_pc)
+
+    @staticmethod
+    def _degenerate_branch(uop: Uop, record) -> bool:
+        """A conditional branch to its own fall-through address.
+
+        Both directions retire the same successor, so path matching can
+        never observe the direction and no assertion is needed;
+        converting one was found (by differential fuzzing) to fire on
+        path-matching instances whenever the condition flips.
+        """
+        return (
+            uop.op is UopOp.BR
+            and uop.target is not None
+            and uop.target == record.pc + record.instruction.length
+        )
 
     def _convert_control(self, uop: Uop) -> Uop:
         """Mid-frame control conversion: BR -> ASSERT, JMPI -> value assert."""

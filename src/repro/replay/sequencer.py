@@ -56,6 +56,66 @@ class SequencerStats:
         ) / self.raw_loads_total
 
 
+def dynamic_address(
+    injected: list[InjectedInstruction], base_index: int, uop
+) -> int | None:
+    """Current-instance address of a frame memory uop (via its mem key).
+
+    ``base_index`` is the injected-stream index where the frame instance
+    starts.  Falls back to the construction-time observed address when
+    the key cannot be resolved against this instance's records.
+    """
+    if uop.mem_key is None:
+        return uop.observed_address
+    x86_index, mem_index = uop.mem_key
+    record = injected[base_index + x86_index].record
+    if mem_index >= len(record.mem_ops):
+        return uop.observed_address
+    return record.mem_ops[mem_index].address
+
+
+def unsafe_store_conflict(
+    frame: Frame, injected: list[InjectedInstruction], base_index: int
+) -> bool:
+    """Unsafe-store alias check (paper §3.4).
+
+    The paper describes comparing an unsafe store against *all* prior
+    memory transactions; we check the speculation's actual premise — the
+    unsafe store must not touch the bytes whose forwarded value it was
+    speculated not to clobber (the covering load/store of each removed
+    load).  The blanket rule aborts constantly on kernels that
+    legitimately revisit a table inside one frame, which contradicts the
+    paper's observation that speculatively removed loads "almost never
+    cause frames to abort"; see DESIGN.md.
+
+    Shared by :class:`RePLaySequencer` dispatch and the differential
+    fuzz oracle (:mod:`repro.fuzz.oracle`), so both judge an instance's
+    commit eligibility identically.
+    """
+    if frame.buffer is None:
+        return False
+    mem_uops = frame.kept_mem_uops()
+    guarded = [u for u in mem_uops if u.is_store and u.unsafe]
+    if not guarded:
+        return False
+    buffer = frame.buffer
+    for store in guarded:
+        address = dynamic_address(injected, base_index, store)
+        if address is None:
+            continue
+        for guard_slot in store.unsafe_guards:
+            guard = buffer.uops[guard_slot]
+            guard_address = dynamic_address(injected, base_index, guard)
+            if guard_address is None:
+                continue
+            if (
+                address < guard_address + guard.size
+                and guard_address < address + store.size
+            ):
+                return True
+    return False
+
+
 class ICacheSequencer:
     """Conventional fetch: everything comes from the instruction cache."""
 
@@ -153,50 +213,15 @@ class RePLaySequencer(ICacheSequencer):
         return not self._unsafe_store_conflict(frame)
 
     def _unsafe_store_conflict(self, frame: Frame) -> bool:
-        """Unsafe-store alias check (paper §3.4).
-
-        The paper describes comparing an unsafe store against *all* prior
-        memory transactions; we check the speculation's actual premise —
-        the unsafe store must not touch the bytes whose forwarded value it
-        was speculated not to clobber (the covering load/store of each
-        removed load).  The blanket rule aborts constantly on kernels
-        that legitimately revisit a table inside one frame, which
-        contradicts the paper's observation that speculatively removed
-        loads "almost never cause frames to abort"; see DESIGN.md.
-        """
-        if frame.buffer is None:
-            return False
-        mem_uops = frame.kept_mem_uops()
-        guarded = [u for u in mem_uops if u.is_store and u.unsafe]
-        if not guarded:
-            return False
-        buffer = frame.buffer
-        for store in guarded:
-            address = self._dynamic_address(frame, store)
-            if address is None:
-                continue
-            for guard_slot in store.unsafe_guards:
-                guard = buffer.uops[guard_slot]
-                guard_address = self._dynamic_address(frame, guard)
-                if guard_address is None:
-                    continue
-                if (
-                    address < guard_address + guard.size
-                    and guard_address < address + store.size
-                ):
-                    self.stats.unsafe_aborts += 1
-                    return True
-        return False
+        """Delegates to the shared module-level check, keeping stats."""
+        conflict = unsafe_store_conflict(frame, self.injected, self.index)
+        if conflict:
+            self.stats.unsafe_aborts += 1
+        return conflict
 
     def _dynamic_address(self, frame: Frame, uop) -> int | None:
-        """Current-instance address of a frame memory uop (via its mem key)."""
-        if uop.mem_key is None:
-            return uop.observed_address
-        x86_index, mem_index = uop.mem_key
-        record = self.injected[self.index + x86_index].record
-        if mem_index >= len(record.mem_ops):
-            return uop.observed_address
-        return record.mem_ops[mem_index].address
+        """Current-instance address via the shared module-level helper."""
+        return dynamic_address(self.injected, self.index, uop)
 
     # --------------------------------------------------------- dispatch
 

@@ -131,7 +131,10 @@ def execute_frame(
             final_regs[reg] = live_in_regs.get(reg, 0)
         else:
             final_regs[reg] = value_of(bound)
-    if buffer.flags_live_out_slot is not None:
+    if buffer.flags_live_out_slot is not None and fired_slot is None:
+        # A fired frame rolls flags back to the entry state too —
+        # atomicity (paper §2) covers the whole architectural state,
+        # not just registers.
         cf, zf, sf, of = slot_flags.get(buffer.flags_live_out_slot, live_in_flags)
     else:
         cf, zf, sf, of = live_in_flags

@@ -1,0 +1,76 @@
+"""Corpus round-trips through the content-addressed artifact store."""
+
+import pytest
+
+from repro.artifacts.store import ArtifactStore
+from repro.fuzz.corpus import CorpusError, FuzzCorpus
+from repro.fuzz.generator import generate_program, program_to_json
+from repro.fuzz.oracle import Divergence
+
+
+def _divergence(kind="final-state"):
+    return Divergence(kind=kind, variant="full", detail="x", frame_pc=0x401000)
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    corpus = FuzzCorpus(ArtifactStore(tmp_path))
+    genome = generate_program(42)
+    case_id = corpus.save_case(
+        genome, [_divergence()], found={"campaign_seed": 1, "index": 9}
+    )
+    assert len(case_id) == 64
+
+    case = corpus.load_case(case_id)
+    assert case["program"] == program_to_json(genome)
+    assert case["found"] == {"campaign_seed": 1, "index": 9}
+    assert case["divergences"][0]["kind"] == "final-state"
+
+    again = corpus.load_genome(case_id)
+    assert program_to_json(again) == program_to_json(genome)
+
+
+def test_same_genome_dedupes(tmp_path):
+    corpus = FuzzCorpus(ArtifactStore(tmp_path))
+    genome = generate_program(7)
+    id_a = corpus.save_case(genome, [_divergence()])
+    id_b = corpus.save_case(genome.copy(), [_divergence("verifier")])
+    assert id_a == id_b
+    assert len(corpus.list_cases()) == 1
+
+
+def test_prefix_resolution(tmp_path):
+    corpus = FuzzCorpus(ArtifactStore(tmp_path))
+    genome = generate_program(13)
+    case_id = corpus.save_case(genome, [_divergence()])
+    assert corpus.resolve(case_id[:8]) == case_id
+    loaded = corpus.load_case(case_id[:8])
+    assert loaded["program"] == program_to_json(genome)
+
+
+def test_unknown_prefix_rejected(tmp_path):
+    corpus = FuzzCorpus(ArtifactStore(tmp_path))
+    with pytest.raises(CorpusError, match="no fuzz case"):
+        corpus.resolve("deadbeef")
+
+
+def test_ambiguous_prefix_rejected(tmp_path):
+    corpus = FuzzCorpus(ArtifactStore(tmp_path))
+    ids = set()
+    for seed in range(40):
+        ids.add(corpus.save_case(generate_program(seed), [_divergence()]))
+    # Find two ids sharing a first hex digit (40 cases over 16 digits).
+    by_first = {}
+    for case_id in ids:
+        by_first.setdefault(case_id[0], []).append(case_id)
+    prefix = next(k for k, v in by_first.items() if len(v) > 1)
+    with pytest.raises(CorpusError, match="ambiguous"):
+        corpus.resolve(prefix)
+
+
+def test_list_cases_labels(tmp_path):
+    corpus = FuzzCorpus(ArtifactStore(tmp_path))
+    genome = generate_program(5)
+    corpus.save_case(genome, [_divergence("assert-fired")])
+    (case,) = corpus.list_cases()
+    assert "assert-fired" in case["label"]
+    assert f"seed={genome.seed}" in case["label"]

@@ -1,0 +1,88 @@
+"""The ``fuzz`` subcommand: run / repro / corpus ls."""
+
+import json
+
+from repro.harness.cli import main
+from repro.artifacts.store import ArtifactStore
+from repro.fuzz.corpus import FuzzCorpus
+from repro.fuzz.generator import generate_program
+from repro.fuzz.oracle import Divergence
+
+
+def test_fuzz_run_clean_campaign(tmp_path, capsys):
+    status = main(
+        [
+            "fuzz", "run", "--seed", "1", "--iterations", "4",
+            "--cache-dir", str(tmp_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "4 programs" in out
+    assert "no divergences" in out
+    assert "campaign digest: " in out
+
+
+def test_fuzz_run_digest_reproducible(tmp_path, capsys):
+    main(["fuzz", "run", "--seed", "9", "--iterations", "3",
+          "--cache-dir", str(tmp_path)])
+    first = capsys.readouterr().out
+    main(["fuzz", "run", "--seed", "9", "--iterations", "3",
+          "--cache-dir", str(tmp_path)])
+    second = capsys.readouterr().out
+    digest = [l for l in first.splitlines() if l.startswith("campaign digest")]
+    assert digest == [
+        l for l in second.splitlines() if l.startswith("campaign digest")
+    ]
+
+
+def test_fuzz_repro_replays_stored_case(tmp_path, capsys):
+    corpus = FuzzCorpus(ArtifactStore(tmp_path))
+    genome = generate_program(21)
+    case_id = corpus.save_case(
+        genome,
+        [Divergence(kind="final-state", variant="full", detail="historic")],
+        found={"campaign_seed": 1, "index": 20, "program_seed": 21},
+    )
+    status = main(
+        ["fuzz", "repro", case_id[:10], "--cache-dir", str(tmp_path)]
+    )
+    out = capsys.readouterr().out
+    # The historical divergence is fixed: replay is clean, exit 0.
+    assert status == 0
+    assert "no longer reproduces" in out
+    assert f"seed={genome.seed}" in out
+
+
+def test_fuzz_repro_unknown_case(tmp_path, capsys):
+    status = main(["fuzz", "repro", "feedface", "--cache-dir", str(tmp_path)])
+    assert status == 2
+    assert "no fuzz case" in capsys.readouterr().err
+
+
+def test_fuzz_corpus_ls(tmp_path, capsys):
+    corpus = FuzzCorpus(ArtifactStore(tmp_path))
+    corpus.save_case(
+        generate_program(33),
+        [Divergence(kind="verifier", variant="no-cp", detail="x")],
+    )
+    status = main(["fuzz", "corpus", "ls", "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "1 fuzz case(s)" in out
+    assert "verifier" in out
+
+
+def test_fuzz_run_emit_stats_ledger(tmp_path, capsys):
+    ledger_path = tmp_path / "run.json"
+    status = main(
+        [
+            "fuzz", "run", "--seed", "2", "--iterations", "2",
+            "--cache-dir", str(tmp_path), "--emit-stats", str(ledger_path),
+        ]
+    )
+    assert status == 0
+    ledger = json.loads(ledger_path.read_text())
+    counters = ledger["metrics"]["counters"]
+    assert counters["fuzz.programs"] >= 2
+    capsys.readouterr()

@@ -1,0 +1,127 @@
+"""Delta-debugging shrinker mechanics (against a synthetic oracle).
+
+The real oracle is deterministic and (after this PR's fixes) clean on
+generated programs, so these tests substitute a predicate oracle: a
+genome "diverges" iff it still carries marker ops.  That isolates the
+ddmin machinery — chunk dropping, restarts, iteration halving, field
+simplification, attempt bounding — from optimizer behavior.
+"""
+
+import pytest
+
+import repro.fuzz.shrink as shrink_mod
+from repro.fuzz.generator import FuzzProgram
+from repro.fuzz.oracle import Divergence, ProgramReport
+from repro.fuzz.shrink import shrink_program
+
+
+def _genome(ops):
+    return FuzzProgram(
+        seed=1,
+        iterations=16,
+        alias_delta=4,
+        reg_init={"eax": 0xDEAD, "ebx": 5, "edx": 0, "ebp": 9},
+        data=[7] * 8,
+        ops=ops,
+    )
+
+
+def _marker_oracle(monkeypatch, kind="final-state"):
+    """Replace the differential oracle: diverges iff a marker op remains."""
+    calls = {"count": 0}
+
+    def fake_run(genome, config=None, metrics=None):
+        calls["count"] += 1
+        report = ProgramReport(seed=genome.seed)
+        if any(op.get("marker") for op in genome.ops):
+            report.divergences.append(
+                Divergence(kind=kind, variant="full", detail="synthetic")
+            )
+        return report
+
+    monkeypatch.setattr(shrink_mod, "run_differential", fake_run)
+    return calls
+
+
+def test_shrinks_to_the_single_marker_op(monkeypatch):
+    _marker_oracle(monkeypatch)
+    filler = [{"kind": "cdq"} for _ in range(15)]
+    genome = _genome(filler[:7] + [{"kind": "cdq", "marker": True}] + filler[7:])
+    result = shrink_program(genome)
+    assert result.reduced
+    assert result.final_ops == 1
+    assert result.genome.ops[0].get("marker")
+    # Iterations halved down to the floor; fields zeroed.
+    assert result.genome.iterations == 2
+    assert result.genome.alias_delta == 0
+    assert all(v == 0 for v in result.genome.reg_init.values())
+    assert all(w == 0 for w in result.genome.data)
+
+
+def test_shrink_preserves_divergence_kind(monkeypatch):
+    """A candidate that diverges with a *different* kind is rejected."""
+    calls = {"count": 0}
+
+    def fake_run(genome, config=None, metrics=None):
+        calls["count"] += 1
+        report = ProgramReport(seed=genome.seed)
+        if any(op.get("marker") for op in genome.ops):
+            report.divergences.append(
+                Divergence(kind="verifier", variant="full", detail="real")
+            )
+        else:
+            # Everything else "diverges" some unrelated way.
+            report.divergences.append(
+                Divergence(kind="optimizer-crash", variant="full", detail="noise")
+            )
+        return report
+
+    monkeypatch.setattr(shrink_mod, "run_differential", fake_run)
+    genome = _genome(
+        [{"kind": "cdq", "marker": True}] + [{"kind": "cdq"} for _ in range(5)]
+    )
+    result = shrink_program(genome)
+    assert any(op.get("marker") for op in result.genome.ops)
+
+
+def test_attempt_budget_is_respected(monkeypatch):
+    calls = _marker_oracle(monkeypatch)
+    genome = _genome(
+        [{"kind": "cdq", "marker": True}] + [{"kind": "cdq"} for _ in range(30)]
+    )
+    result = shrink_program(genome, max_attempts=10)
+    # One call classifies the original; at most 10 more judge candidates.
+    assert calls["count"] <= 11
+    assert result.attempts <= 10
+
+
+def test_non_divergent_genome_is_rejected(monkeypatch):
+    _marker_oracle(monkeypatch)
+    genome = _genome([{"kind": "cdq"}])  # no marker: never diverges
+    with pytest.raises(ValueError, match="non-divergent"):
+        shrink_program(genome)
+
+
+def test_unrunnable_candidates_count_as_non_divergent(monkeypatch):
+    """Shrinker edits can produce genomes that crash the oracle; those
+    must be skipped, not crash the shrink."""
+
+    def fake_run(genome, config=None, metrics=None):
+        if len(genome.ops) < 2:
+            raise ValueError("synthetic: did not halt")
+        report = ProgramReport(seed=genome.seed)
+        if any(op.get("marker") for op in genome.ops):
+            report.divergences.append(
+                Divergence(kind="final-state", variant="full", detail="d")
+            )
+        return report
+
+    monkeypatch.setattr(shrink_mod, "run_differential", fake_run)
+    genome = _genome(
+        [{"kind": "cdq", "marker": True}] + [{"kind": "cdq"} for _ in range(7)]
+    )
+    result = shrink_program(genome)
+    # Cannot go below 2 ops (the oracle "crashes" there), but the marker
+    # plus one filler survive.
+    assert result.final_ops == 2
+    assert any(op.get("marker") for op in result.genome.ops)
