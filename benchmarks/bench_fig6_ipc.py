@@ -3,16 +3,34 @@
 Shape checks (paper §6.1): the optimizing rePLay configuration wins on
 (nearly) all applications; the average RPO-over-RP gain is in the same
 band as the paper's 17%; gains are highly variable per application.
+
+With ``--json PATH`` the per-workload IPC matrix, coverage, and wall
+time land in a machine-readable baseline (CI uploads it as the
+``BENCH_fig6_ipc.json`` artifact), so IPC drift between commits is a
+diff, not a re-run.
 """
 
 from repro.harness.figures import PAPER_ORDER, run_fig6
 from repro.harness.report import format_fig6
 
 
-def test_bench_fig6(matrix, benchmark):
+def test_bench_fig6(matrix, benchmark, bench_records):
     rows = benchmark.pedantic(run_fig6, args=(matrix,), rounds=1, iterations=1)
     print()
     print(format_fig6(rows))
+
+    gains = [r.rpo_gain_over_rp for r in rows]
+    bench_records["fig6"] = {
+        "seconds": round(benchmark.stats.stats.mean, 3),
+        "average_rpo_over_rp": round(sum(gains) / len(gains), 4),
+        "workloads": {
+            r.name: {
+                "ipc": {k: round(v, 4) for k, v in r.ipc.items()},
+                "coverage": round(r.coverage, 4),
+            }
+            for r in rows
+        },
+    }
 
     assert [r.name for r in rows] == PAPER_ORDER
     gains = [r.rpo_gain_over_rp for r in rows]

@@ -41,12 +41,13 @@ def _large_frame():
     return best
 
 
-def test_bench_optimize_large_frame(benchmark):
+def test_bench_optimize_large_frame(benchmark, bench_records):
     template = _large_frame()
 
     def optimize_fresh():
         frame = template
         frame.buffer = None  # rebuild the buffer each round
+        frame.sched_template = None  # schedule template follows the buffer
         buffer = frame.build_buffer()
         return FrameOptimizer().optimize(buffer)
 
@@ -54,9 +55,14 @@ def test_bench_optimize_large_frame(benchmark):
     assert result.uops_after < result.uops_before
     # The modeled hardware latency: 10 cycles per incoming uop.
     assert result.optimization_cycles == 10 * result.uops_before
+    bench_records["optimize_large_frame"] = {
+        "seconds": round(benchmark.stats.stats.mean, 5),
+        "uops_before": result.uops_before,
+        "uops_after": result.uops_after,
+    }
 
 
-def test_bench_simulation_throughput(benchmark):
+def test_bench_simulation_throughput(benchmark, bench_records):
     """End-to-end simulator speed on one workload/config pair."""
     from repro.harness import CONFIGS, run_experiment
 
@@ -66,3 +72,9 @@ def test_bench_simulation_throughput(benchmark):
         lambda: run_experiment(trace, CONFIGS["RPO"]), rounds=3, iterations=1
     )
     assert result.sim.x86_retired == len(trace)
+    seconds = benchmark.stats.stats.mean
+    bench_records["simulate_lotus_rpo"] = {
+        "seconds": round(seconds, 4),
+        "x86_per_sec": round(result.sim.x86_retired / seconds),
+        "cycles": result.sim.cycles,
+    }

@@ -105,12 +105,16 @@ def run_experiment(
     config: ExperimentConfig,
     workload_name: str | None = None,
     metrics: MetricsRegistry | None = None,
+    scheduling: str = "template",
 ) -> ExperimentResult:
     """Simulate one workload trace under one configuration.
 
     Measurements land in ``metrics`` (the process-global registry when
     not given): simulation counters, the seven cycle-accounting bins,
     sequencer/frame-cache activity, and per-pass optimizer changes.
+    ``scheduling`` selects the timing model's uop-scheduling path
+    ('template' fast path or the object-walking 'reference'); the two
+    are cycle-identical by contract (DESIGN.md §11).
     """
     registry = metrics if metrics is not None else get_registry()
     injector = MicroOpInjector()
@@ -137,7 +141,7 @@ def run_experiment(
     else:
         raise ValueError(f"unknown frontend {config.frontend!r}")
 
-    pipeline = PipelineModel(config.processor)
+    pipeline = PipelineModel(config.processor, scheduling=scheduling)
     with registry.timer("time.simulate"):
         sim = pipeline.simulate(sequencer)
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.x86.instructions import Cond
-from repro.uops.uop import Uop, UopOp, UReg
+from repro.uops.uop import Uop, UopOp, UReg, uop_reads_flags
 
 
 @dataclass(frozen=True)
@@ -108,16 +108,20 @@ class OptUop:
 
     @property
     def reads_flags(self) -> bool:
-        """True when this uop consumes the flags def named by flags_src."""
-        if self.op in (UopOp.BR, UopOp.ASSERT):
-            return True
-        if self.preserves_cf:
-            return True
-        # A flag-writing shift whose dynamic count may be zero passes the
-        # incoming flag word through unchanged, so it depends on it.
-        if self.op in (UopOp.SHL, UopOp.SHR, UopOp.SAR) and self.writes_flags:
-            return self.src_b is not None or ((self.imm or 0) & 0x1F) == 0
-        return False
+        """True when this uop consumes the flags def named by flags_src.
+
+        Delegates to :func:`repro.uops.uop.uop_reads_flags`, the single
+        predicate shared with :class:`~repro.uops.uop.Uop` and the timing
+        model, so the frame and ICache paths agree on flags dependences.
+        """
+        return uop_reads_flags(
+            self.op,
+            self.cond,
+            self.preserves_cf,
+            self.writes_flags,
+            self.src_b is not None,
+            self.imm,
+        )
 
     @property
     def has_value_dst(self) -> bool:

@@ -57,6 +57,40 @@ def branch_event_for(
     return None  # direct JMP: next-line predicted, no event
 
 
+def event_from_decode(decode, record, uop_base: int) -> BranchEvent | None:
+    """Build a prediction event from cached static decode facts.
+
+    Equivalent to :func:`branch_event_for` (event kind and control-uop
+    offset are static per instruction; outcome, target, and return
+    address come from the dynamic ``record``) without re-scanning the
+    instruction's uops per dynamic instance.
+    """
+    kind = decode.event_kind
+    if kind is None:
+        return None
+    uop_index = uop_base + decode.event_offset
+    if kind == "cond":
+        return BranchEvent(
+            uop_index=uop_index,
+            kind="cond",
+            pc=record.pc,
+            taken=bool(record.branch_taken),
+            target=record.next_pc,
+        )
+    if kind in ("call", "callind"):
+        return BranchEvent(
+            uop_index=uop_index,
+            kind=kind,
+            pc=record.pc,
+            target=record.next_pc,
+            return_address=record.pc + record.instruction.length,
+        )
+    # 'ret' | 'jmpi'
+    return BranchEvent(
+        uop_index=uop_index, kind=kind, pc=record.pc, target=record.next_pc
+    )
+
+
 def is_taken_transfer(instr: InjectedInstruction) -> bool:
     """Did this instruction redirect fetch (taken branch / jump / call)?"""
     record = instr.record
@@ -69,16 +103,22 @@ def build_icache_block(
     index: int,
     config: ProcessorConfig,
     stop_probe=None,
+    builder=None,
 ) -> tuple[FetchBlock, int]:
     """Build one ICache fetch group starting at ``index``.
 
     ``stop_probe(pc)`` (if given) truncates the group before a PC the
     caller wants to fetch from elsewhere — e.g. a frame-cache hit.
+    ``builder`` (a :class:`repro.timing.schedule.ScheduleBuilder`, if
+    given) attaches the group's schedule tuples from its per-instruction
+    decode cache, so decode and branch-event classification run once per
+    static instruction instead of once per fetch.
     Returns the block and the number of x86 instructions consumed.
     """
     uops: list = []
     addresses: list = []
     events: list[BranchEvent] = []
+    sched: list | None = [] if builder is not None else None
     count = 0
     first = injected[index].record
     byte_start = first.pc
@@ -89,13 +129,18 @@ def build_icache_block(
             break
         if count and stop_probe is not None and stop_probe(instr.record.pc):
             break
-        event = branch_event_for(instr, len(uops))
+        record = instr.record
+        if builder is not None:
+            decode = builder.instr_decode(instr)
+            event = event_from_decode(decode, record, len(uops))
+            sched.extend(decode.sched)
+        else:
+            event = branch_event_for(instr, len(uops))
         if event is not None:
             events.append(event)
         for uop in instr.uops:
             uops.append(uop)
             addresses.append(uop.mem_address)
-        record = instr.record
         byte_end = max(byte_end, record.pc + record.instruction.length)
         count += 1
         if is_taken_transfer(instr):
@@ -110,6 +155,7 @@ def build_icache_block(
             byte_start=byte_start,
             byte_end=byte_end,
             branch_events=events,
+            sched=sched,
         ),
         count,
     )

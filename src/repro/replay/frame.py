@@ -35,6 +35,9 @@ class Frame:
     commits: int = 0  # dynamic instances that completed
     fires: int = 0  # dynamic instances that aborted
     cooldown: int = 0  # dispatch opportunities to skip after a fire
+    #: cached :class:`repro.timing.schedule.FrameSchedule`; valid once the
+    #: buffer is final (post-optimization) and for the buffer's lifetime.
+    sched_template: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def proven(self) -> bool:

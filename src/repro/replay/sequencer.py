@@ -14,13 +14,14 @@ from dataclasses import dataclass, field
 
 from repro.trace.injector import InjectedInstruction
 from repro.replay.constructor import ConstructorConfig, FrameConstructor
-from repro.replay.fetch_groups import branch_event_for, build_icache_block
+from repro.replay.fetch_groups import build_icache_block, event_from_decode
 from repro.replay.frame import Frame
 from repro.replay.frame_cache import FrameCache
 from repro.replay.optqueue import OptimizationQueue
 from repro.optimizer.pipeline import FrameOptimizer
 from repro.timing.config import ProcessorConfig
 from repro.timing.pipeline import BranchEvent, FetchBlock
+from repro.timing.schedule import FrameSchedule, ScheduleBuilder
 from repro.verify.state import ArchTracker
 from repro.verify.verifier import StateVerifier
 
@@ -126,6 +127,9 @@ class ICacheSequencer:
         self.config = config
         self.index = 0
         self.stats = SequencerStats()
+        #: per-run schedule/decode template cache, shared with the blocks
+        #: this sequencer emits (and with frame dispatch in subclasses).
+        self.sched_builder = ScheduleBuilder(config)
         for instr in injected:
             self.stats.raw_uops_total += len(instr.uops)
             self.stats.raw_loads_total += sum(1 for u in instr.uops if u.is_load)
@@ -133,7 +137,9 @@ class ICacheSequencer:
     def next_block(self, cycle: int) -> FetchBlock | None:
         if self.index >= len(self.injected):
             return None
-        block, count = build_icache_block(self.injected, self.index, self.config)
+        block, count = build_icache_block(
+            self.injected, self.index, self.config, builder=self.sched_builder
+        )
         self.index += count
         return block
 
@@ -192,7 +198,11 @@ class RePLaySequencer(ICacheSequencer):
             self.frame_cache.contains if self.index >= self._icache_until else None
         )
         block, count = build_icache_block(
-            self.injected, self.index, self.config, stop_probe=probe
+            self.injected,
+            self.index,
+            self.config,
+            stop_probe=probe,
+            builder=self.sched_builder,
         )
         self._retire_region(count, cycle)
         return block
@@ -225,43 +235,51 @@ class RePLaySequencer(ICacheSequencer):
 
     # --------------------------------------------------------- dispatch
 
-    def _frame_addresses(self, frame: Frame, uops) -> list[int | None]:
-        addresses: list[int | None] = []
-        for uop in uops:
-            if uop.is_mem:
-                addresses.append(self._dynamic_address(frame, uop))
-            else:
-                addresses.append(None)
+    def _frame_addresses(
+        self, template: FrameSchedule
+    ) -> list[int | None]:
+        """Current-instance addresses, resolved only at the memory slots."""
+        addresses: list[int | None] = [None] * len(template.kept)
+        injected = self.injected
+        base = self.index
+        for position, uop in template.mem_positions:
+            addresses[position] = dynamic_address(injected, base, uop)
         return addresses
 
-    def _exit_event(self, frame: Frame) -> list[BranchEvent]:
+    def _exit_event(
+        self, frame: Frame, template: FrameSchedule
+    ) -> list[BranchEvent]:
         """Prediction event for the frame's exit branch, if it kept one."""
+        position = template.exit_control_pos
+        if position is None:
+            return []
         last_instr = self.injected[self.index + frame.x86_count - 1]
-        kept = frame.kept_uops()
-        for position in range(len(kept) - 1, -1, -1):
-            if kept[position].is_control:
-                event = branch_event_for(last_instr, 0)
-                if event is None:
-                    return []
-                event.uop_index = position
-                return [event]
-        return []
+        decode = self.sched_builder.instr_decode(last_instr)
+        event = event_from_decode(decode, last_instr.record, 0)
+        if event is None:
+            return []
+        event.uop_index = position
+        return [event]
 
     def _train_events(self, frame: Frame) -> list[BranchEvent]:
         """Predictor-training events for the frame's internal transfers."""
         events: list[BranchEvent] = []
+        builder = self.sched_builder
         for offset in range(frame.x86_count - 1):
             instr = self.injected[self.index + offset]
             if instr.record.instruction.is_branch:
-                event = branch_event_for(instr, 0)
+                event = event_from_decode(
+                    builder.instr_decode(instr), instr.record, 0
+                )
                 if event is not None:
                     events.append(event)
         return events
 
     def _dispatch_frame(self, frame: Frame, cycle: int) -> FetchBlock:
-        uops = frame.kept_uops()
-        addresses = self._frame_addresses(frame, uops)
-        events = self._exit_event(frame)
+        template = self.sched_builder.frame_schedule(frame)
+        uops = template.kept
+        addresses = self._frame_addresses(template)
+        events = self._exit_event(frame, template)
         train_events = self._train_events(frame)
         base = self.index
         records = [
@@ -278,9 +296,8 @@ class RePLaySequencer(ICacheSequencer):
         stats.frame_dispatches += 1
         stats.frame_raw_uops += frame.raw_uop_count
         stats.frame_fetched_uops += len(uops)
-        raw_loads = sum(1 for u in frame.dyn_uops if u.is_load)
-        stats.frame_raw_loads += raw_loads
-        stats.frame_fetched_loads += sum(1 for u in uops if u.is_load)
+        stats.frame_raw_loads += template.raw_loads
+        stats.frame_fetched_loads += template.fetched_loads
         frame.commits += 1
         self._retire_region(frame.x86_count, cycle)
         return FetchBlock(
@@ -292,6 +309,7 @@ class RePLaySequencer(ICacheSequencer):
             branch_events=events,
             train_events=train_events,
             frame=frame,
+            sched=template,
         )
 
     def _dispatch_firing_frame(self, frame: Frame) -> FetchBlock:
@@ -303,15 +321,16 @@ class RePLaySequencer(ICacheSequencer):
             self.frame_cache.evict(frame.start_pc)
         # The aborted region re-executes from the ICache (paper §3.4).
         self._icache_until = self.index + frame.x86_count
-        uops = frame.kept_uops()
+        template = self.sched_builder.frame_schedule(frame)
         return FetchBlock(
             source="frame",
-            uops=uops,
-            addresses=[u.observed_address if u.is_mem else None for u in uops],
+            uops=template.kept,
+            addresses=template.fire_addresses,
             x86_count=0,  # nothing retires; the region re-executes next
             pc=frame.start_pc,
             fires=True,
             frame=frame,
+            sched=template,
         )
 
     # --------------------------------------------------------- retirement

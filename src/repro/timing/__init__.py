@@ -20,6 +20,7 @@ from repro.timing.predictor import (
     GsharePredictor,
     ReturnAddressStack,
 )
+from repro.timing.schedule import FrameSchedule, InstrDecode, ScheduleBuilder
 
 __all__ = [
     "BINS",
@@ -29,11 +30,14 @@ __all__ = [
     "CacheConfig",
     "CacheHierarchy",
     "FetchBlock",
+    "FrameSchedule",
     "FrontEndPredictors",
     "GsharePredictor",
+    "InstrDecode",
     "PipelineModel",
     "ProcessorConfig",
     "ReturnAddressStack",
+    "ScheduleBuilder",
     "SimResult",
     "default_config",
     "large_icache_config",

@@ -24,29 +24,43 @@ class Cache:
     def line_of(self, address: int) -> int:
         return address >> self._line_shift
 
-    def access(self, address: int) -> bool:
-        """Access one byte address; True on hit.  Misses allocate."""
-        line = self.line_of(address)
-        index = line % self.num_sets
-        ways = self._sets[index]
+    def _probe_fill(self, line: int) -> bool:
+        """Look up one line, refresh LRU, allocate on miss; no counters."""
+        ways = self._sets[line % self.num_sets]
         if line in ways:
             ways.remove(line)
             ways.insert(0, line)
-            self.hits += 1
             return True
-        self.misses += 1
         ways.insert(0, line)
         if len(ways) > self.config.associativity:
             ways.pop()
         return False
 
+    def access(self, address: int) -> bool:
+        """Access one byte address; True on hit.  Misses allocate."""
+        if self._probe_fill(self.line_of(address)):
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
     def access_range(self, address: int, size: int) -> bool:
-        """Access a byte range; True only if every line hits."""
+        """Access a byte range; True only if every line hits.
+
+        Counts **one** hit or miss per call (a miss if any touched line
+        misses) while still filling every touched line, so ``accesses``
+        equals the number of access calls — multi-word transactions no
+        longer inflate the hit/miss statistics.
+        """
         first = self.line_of(address)
         last = self.line_of(address + max(size, 1) - 1)
         hit = True
         for line in range(first, last + 1):
-            hit &= self.access(line << self._line_shift)
+            hit &= self._probe_fill(line)
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
         return hit
 
     @property

@@ -28,9 +28,18 @@ from repro.optimizer.optuop import DefRef, LiveIn, OptUop
 from repro.timing.caches import Cache, CacheHierarchy
 from repro.timing.config import ProcessorConfig
 from repro.timing.predictor import FrontEndPredictors
+from repro.timing.schedule import (
+    KIND_LOAD,
+    KIND_STORE,
+    FrameSchedule,
+    ScheduleBuilder,
+)
 
 #: Cycle-accounting bins, in the paper's priority order.
 BINS = ("assert", "mispred", "miss", "stall", "wait", "frame", "icache")
+
+#: Shared empty event map for the (common) branch-free block.
+_NO_EVENTS: dict[int, "BranchEvent"] = {}
 
 
 @dataclass
@@ -63,6 +72,10 @@ class FetchBlock:
     train_events: list[BranchEvent] = field(default_factory=list)
     fires: bool = False  # frame instance whose assertion/unsafe store fires
     frame: object | None = None
+    #: static schedule template: a list of dyn schedule tuples (icache /
+    #: tcache blocks) or a :class:`repro.timing.schedule.FrameSchedule`
+    #: (frame blocks).  ``None`` = the model derives one on the fly.
+    sched: object | None = None
 
 
 @dataclass
@@ -118,8 +131,16 @@ class PipelineModel:
     #: readiness, the paper's pessimistic model) and restarting fetch.
     RECOVERY_LATENCY = 5
 
-    def __init__(self, config: ProcessorConfig) -> None:
+    def __init__(self, config: ProcessorConfig, scheduling: str = "template") -> None:
+        if scheduling not in ("template", "reference"):
+            raise ValueError(f"unknown scheduling mode: {scheduling!r}")
         self.config = config
+        #: 'template' consumes precomputed schedule tuples (fast path);
+        #: 'reference' walks Uop/OptUop objects (original implementation).
+        #: Both must produce identical SimResults — see DESIGN.md §11 and
+        #: tests/timing/test_schedule_ab.py.
+        self.scheduling = scheduling
+        self._builder = ScheduleBuilder(config)
         self.cycle = 0
         self.result = SimResult()
         self.predictors = FrontEndPredictors(config)
@@ -173,48 +194,153 @@ class PipelineModel:
         if block.fires:
             self._run_firing_frame(block)
             return
-        bin_name = "frame" if block.source in ("frame", "tcache") else "icache"
         # Internal transfers precede the exit branch in program order, so
         # they train the predictors before the exit event is evaluated.
         for event in block.train_events:
             self._train_predictors(event)
-        events = {e.uop_index: e for e in block.branch_events}
-        width = self.config.fetch_width
-        index = 0
-        n = len(block.uops)
-        frame_mode = block.source == "frame"
-        slot_values: dict[int, int] = {}
-        slot_flags: dict[int, int] = {}
-        while index < n:
-            chunk = min(width, n - index)
-            self._wait_for_window(chunk)
-            self.result.bins[bin_name] += 1
-            fetch_cycle = self.cycle
-            self.cycle += 1
-            for offset in range(chunk):
-                i = index + offset
-                if frame_mode:
-                    self._execute_opt_uop(
-                        block.uops[i],
-                        block.addresses[i],
-                        fetch_cycle,
-                        slot_values,
-                        slot_flags,
-                    )
-                else:
-                    complete = self._execute_dyn_uop(
-                        block.uops[i], block.addresses[i], fetch_cycle
-                    )
-                    event = events.get(i)
-                    if event is not None:
-                        self._handle_branch(event, complete)
-            index += chunk
-        if frame_mode and block.frame is not None:
-            self._commit_frame_live_outs(block.frame, slot_values, slot_flags)
+        if block.source == "frame":
+            self._run_frame_block(block)
+        else:
+            bin_name = "frame" if block.source == "tcache" else "icache"
+            self._run_line_block(block, bin_name)
         if block.source in ("frame", "tcache"):
             self.result.frame_x86_coverage += block.x86_count
         self.result.uops_fetched += len(block.uops)
         self.result.x86_retired += block.x86_count
+
+    def _event_map(self, block: FetchBlock) -> dict[int, BranchEvent]:
+        """Index branch events by uop position, rejecting collisions.
+
+        A duplicate ``uop_index`` would make one event silently shadow
+        another (dict overwrite), so a mis-built block now fails loudly.
+        """
+        if not block.branch_events:
+            return _NO_EVENTS
+        events: dict[int, BranchEvent] = {}
+        for event in block.branch_events:
+            if event.uop_index in events:
+                raise ValueError(
+                    f"duplicate branch event at uop index {event.uop_index} "
+                    f"in block @ {block.pc:#x}"
+                )
+            events[event.uop_index] = event
+        return events
+
+    def _run_line_block(self, block: FetchBlock, bin_name: str) -> None:
+        """Fetch/execute an ICache or trace-cache block (dyn uops)."""
+        events = self._event_map(block)
+        width = self.config.fetch_width
+        uops = block.uops
+        addresses = block.addresses
+        n = len(uops)
+        bins = self.result.bins
+        index = 0
+        if self.scheduling == "template":
+            depth = self.config.branch_resolution_depth
+            sched = block.sched
+            if sched is None:
+                builder = self._builder
+                sched = [builder.dyn_sched(u) for u in uops]
+            execute = self._execute_dyn_sched
+            while index < n:
+                chunk = min(width, n - index)
+                self._wait_for_window(chunk)
+                bins[bin_name] += 1
+                base_ready = self.cycle + depth
+                self.cycle += 1
+                for i in range(index, index + chunk):
+                    complete = execute(sched[i], addresses[i], base_ready)
+                    event = events.get(i)
+                    if event is not None:
+                        self._handle_branch(event, complete)
+                index += chunk
+        else:
+            while index < n:
+                chunk = min(width, n - index)
+                self._wait_for_window(chunk)
+                bins[bin_name] += 1
+                fetch_cycle = self.cycle
+                self.cycle += 1
+                for i in range(index, index + chunk):
+                    complete = self._execute_dyn_uop(
+                        uops[i], addresses[i], fetch_cycle
+                    )
+                    event = events.get(i)
+                    if event is not None:
+                        self._handle_branch(event, complete)
+                index += chunk
+
+    def _frame_template(self, block: FetchBlock) -> FrameSchedule:
+        """The block's FrameSchedule, building one if the sequencer didn't."""
+        template = block.sched
+        if isinstance(template, FrameSchedule) and len(template.sched) == len(
+            block.uops
+        ):
+            return template
+        frame = block.frame
+        if frame is not None and getattr(frame, "buffer", None) is not None:
+            template = self._builder.frame_schedule(frame)
+            if len(template.sched) == len(block.uops):
+                return template
+        return self._builder.adhoc_frame_schedule(block.uops)
+
+    def _run_frame_block(self, block: FetchBlock) -> None:
+        """Fetch/execute a committing frame block (opt uops).
+
+        Frame-internal transfers are assertions: ``branch_events`` carry
+        no penalty here (only ``train_events`` touch the predictors), in
+        both scheduling modes.
+        """
+        width = self.config.fetch_width
+        uops = block.uops
+        addresses = block.addresses
+        n = len(uops)
+        bins = self.result.bins
+        index = 0
+        if self.scheduling == "template":
+            depth = self.config.branch_resolution_depth
+            template = self._frame_template(block)
+            sched = template.sched
+            slot_values = [0] * template.nslots
+            slot_flags = [0] * template.nslots
+            execute = self._execute_opt_sched
+            while index < n:
+                chunk = min(width, n - index)
+                self._wait_for_window(chunk)
+                bins["frame"] += 1
+                base_ready = self.cycle + depth
+                self.cycle += 1
+                for i in range(index, index + chunk):
+                    execute(sched[i], addresses[i], base_ready, slot_values, slot_flags)
+                index += chunk
+            if block.frame is not None:
+                reg_ready = self._reg_ready
+                for reg, slot in template.live_out_plan:
+                    reg_ready[reg] = slot_values[slot]
+                if template.flags_out_slot is not None:
+                    self._flags_ready = slot_flags[template.flags_out_slot]
+        else:
+            slot_values_map: dict[int, int] = {}
+            slot_flags_map: dict[int, int] = {}
+            while index < n:
+                chunk = min(width, n - index)
+                self._wait_for_window(chunk)
+                bins["frame"] += 1
+                fetch_cycle = self.cycle
+                self.cycle += 1
+                for i in range(index, index + chunk):
+                    self._execute_opt_uop(
+                        uops[i],
+                        addresses[i],
+                        fetch_cycle,
+                        slot_values_map,
+                        slot_flags_map,
+                    )
+                index += chunk
+            if block.frame is not None:
+                self._commit_frame_live_outs(
+                    block.frame, slot_values_map, slot_flags_map
+                )
 
     def _switch_source(self, source: str) -> None:
         if source == "tcache":
@@ -338,9 +464,12 @@ class PipelineModel:
                 t = reg_ready.get(src, 0)
                 if t > ready:
                     ready = t
-        if (uop.cond is not None and uop.op in (UopOp.BR, UopOp.ASSERT)) or (
-            uop.preserves_cf
-        ):
+        # Shared predicate (repro.uops.uop.uop_reads_flags): conditional
+        # control, CF-preserving ops, *and* flag-writing shifts whose flag
+        # update may be suppressed (the flags-dependence asymmetry fix —
+        # the old inline condition missed the shift case, so the ICache
+        # path under-serialized flag chains relative to the frame path).
+        if uop.reads_flags:
             if self._flags_ready > ready:
                 ready = self._flags_ready
         if uop.op is UopOp.LOAD:
@@ -389,6 +518,90 @@ class PipelineModel:
         slot_values[uop.slot] = complete
         if uop.writes_flags:
             slot_flags[uop.slot] = complete
+        self._retire(complete)
+        return complete
+
+    # Template-scheduling twins of the two methods above: consume flat
+    # schedule tuples (repro.timing.schedule) instead of uop objects and
+    # dense slot lists instead of dicts.  Must stay cycle-identical.
+
+    def _execute_dyn_sched(self, sched: tuple, address, base_ready: int) -> int:
+        """Schedule one pre-rename uop from its schedule tuple."""
+        fu, srcs, rflags, kind, latency, dst, wflags, size = sched
+        ready = base_ready
+        reg_ready = self._reg_ready
+        for src in srcs:
+            t = reg_ready.get(src, 0)
+            if t > ready:
+                ready = t
+        if rflags and self._flags_ready > ready:
+            ready = self._flags_ready
+        if kind == KIND_LOAD:
+            ready = self._load_store_dependence(address, size, ready)
+            issue = self._issue(fu, ready)
+            self.result.loads_executed += 1
+            if address is not None:
+                complete = issue + self.dcache.access(address, size)
+            else:
+                complete = issue + self.config.dcache.hit_latency
+        elif kind == KIND_STORE:
+            issue = self._issue(fu, ready)
+            self.result.stores_executed += 1
+            if address is not None:
+                self.dcache.access(address, size)  # allocate/fill
+            complete = issue + 1
+            self._record_store(address, size, complete)
+        else:
+            issue = self._issue(fu, ready)
+            complete = issue + latency
+        if dst is not None:
+            reg_ready[dst] = complete
+        if wflags:
+            self._flags_ready = complete
+        self._retire(complete)
+        return complete
+
+    def _execute_opt_sched(
+        self,
+        sched: tuple,
+        address,
+        base_ready: int,
+        slot_values: list[int],
+        slot_flags: list[int],
+    ) -> int:
+        """Schedule one remapped frame uop from its schedule tuple."""
+        fu, deps, rflags, flags_src, kind, latency, slot, wflags, size = sched
+        ready = base_ready
+        reg_ready = self._reg_ready
+        for is_slot, key in deps:
+            t = slot_values[key] if is_slot else reg_ready.get(key, 0)
+            if t > ready:
+                ready = t
+        if rflags:
+            t = self._flags_ready if flags_src is None else slot_flags[flags_src]
+            if t > ready:
+                ready = t
+        if kind == KIND_LOAD:
+            ready = self._load_store_dependence(address, size, ready)
+            issue = self._issue(fu, ready)
+            self.result.loads_executed += 1
+            if address is not None:
+                complete = issue + self.dcache.access(address, size)
+            else:
+                complete = issue + self.config.dcache.hit_latency
+        elif kind == KIND_STORE:
+            issue = self._issue(fu, ready)
+            self.result.stores_executed += 1
+            if address is not None:
+                self.dcache.access(address, size)  # allocate/fill
+            complete = issue + 1
+            self._record_store(address, size, complete)
+        else:
+            issue = self._issue(fu, ready)
+            complete = issue + latency
+        slot_values[slot] = complete
+        if wflags:
+            slot_flags[slot] = complete
         self._retire(complete)
         return complete
 
@@ -479,37 +692,87 @@ class PipelineModel:
         self.result.frames_fired += 1
         saved_regs = dict(self._reg_ready)
         saved_flags = self._flags_ready
-        slot_values: dict[int, int] = {}
-        slot_flags: dict[int, int] = {}
+        saved_mem = self._store_word_snapshot(block)
         width = self.config.fetch_width
+        uops = block.uops
+        addresses = block.addresses
+        n = len(uops)
+        bins = self.result.bins
         last_complete = self.cycle
         index = 0
-        n = len(block.uops)
-        while index < n:
-            chunk = min(width, n - index)
-            self._wait_for_window(chunk)
-            self.result.bins["assert"] += 1
-            fetch_cycle = self.cycle
-            self.cycle += 1
-            for offset in range(chunk):
-                uop = block.uops[index + offset]
-                complete = self._execute_opt_uop(
-                    uop,
-                    block.addresses[index + offset],
-                    fetch_cycle,
-                    slot_values,
-                    slot_flags,
-                )
-                if complete > last_complete:
-                    last_complete = complete
-            index += chunk
+        if self.scheduling == "template":
+            depth = self.config.branch_resolution_depth
+            template = self._frame_template(block)
+            sched = template.sched
+            slot_values = [0] * template.nslots
+            slot_flags = [0] * template.nslots
+            while index < n:
+                chunk = min(width, n - index)
+                self._wait_for_window(chunk)
+                bins["assert"] += 1
+                base_ready = self.cycle + depth
+                self.cycle += 1
+                for i in range(index, index + chunk):
+                    complete = self._execute_opt_sched(
+                        sched[i], addresses[i], base_ready, slot_values, slot_flags
+                    )
+                    if complete > last_complete:
+                        last_complete = complete
+                index += chunk
+        else:
+            slot_values_map: dict[int, int] = {}
+            slot_flags_map: dict[int, int] = {}
+            while index < n:
+                chunk = min(width, n - index)
+                self._wait_for_window(chunk)
+                bins["assert"] += 1
+                fetch_cycle = self.cycle
+                self.cycle += 1
+                for i in range(index, index + chunk):
+                    complete = self._execute_opt_uop(
+                        uops[i],
+                        addresses[i],
+                        fetch_cycle,
+                        slot_values_map,
+                        slot_flags_map,
+                    )
+                    if complete > last_complete:
+                        last_complete = complete
+                index += chunk
         recovery = last_complete + self.RECOVERY_LATENCY
         if recovery > self.cycle:
-            self.result.bins["assert"] += recovery - self.cycle
+            bins["assert"] += recovery - self.cycle
             self.cycle = recovery
-        # Roll back: the frame's register effects are squashed.  (The
+        # Roll back: the frame's register, flags, *and* store-buffer
+        # effects are squashed.  Without the _mem_ready restore, the
+        # aborted frame's speculative stores leaked forwarding times into
+        # the post-recovery ICache replay of the same region.  (The
         # squashed uops still drained through the window, so retirement
         # bookkeeping is left alone.)
         self._reg_ready = saved_regs
         self._flags_ready = saved_flags
+        self._restore_store_words(saved_mem)
         self.result.uops_fetched += n
+
+    def _store_word_snapshot(self, block: FetchBlock) -> dict[int, int | None]:
+        """Prior ``_mem_ready`` entries for every word the block's stores touch.
+
+        ``None`` marks a word absent before the frame ran, so the restore
+        can distinguish delete from overwrite.
+        """
+        deltas: dict[int, int | None] = {}
+        mem_ready = self._mem_ready
+        for uop, address in zip(block.uops, block.addresses):
+            if address is not None and uop.is_store:
+                for word in self._mem_words(address, uop.size):
+                    if word not in deltas:
+                        deltas[word] = mem_ready.get(word)
+        return deltas
+
+    def _restore_store_words(self, deltas: dict[int, int | None]) -> None:
+        mem_ready = self._mem_ready
+        for word, prior in deltas.items():
+            if prior is None:
+                mem_ready.pop(word, None)
+            else:
+                mem_ready[word] = prior

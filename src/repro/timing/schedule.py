@@ -1,0 +1,316 @@
+"""Static schedule templates for the timing model (DESIGN.md §11).
+
+The per-uop scheduling facts the pipeline model needs — functional-unit
+class, operand dependence lists, flags dependence, static latency class —
+are *static* per decoded instruction and per optimized frame, yet the
+original model re-derived them from `Uop`/`OptUop` attributes for every
+dynamic instance.  This module precomputes them once:
+
+* :class:`ScheduleBuilder` caches an :class:`InstrDecode` per static x86
+  instruction (keyed by instruction object identity; decode depends only
+  on instruction content, never on the dynamic record) and a
+  :class:`FrameSchedule` per optimized frame (stored on the frame, whose
+  buffer is immutable once it enters the frame cache);
+* uop schedules are flat tuples consumed by
+  ``PipelineModel._execute_dyn_sched``/``_execute_opt_sched`` without any
+  per-instance attribute chasing;
+* frame slots use dense lists indexed by slot number instead of the
+  original per-instance ``slot_values``/``slot_flags`` dicts.
+
+The contract is **cycle identity**: scheduling from templates must produce
+the same :class:`~repro.timing.pipeline.SimResult` as the reference
+object-walking path for every block stream.  ``PipelineModel`` keeps the
+reference implementation selectable (``scheduling="reference"``) and the
+golden A/B test (`tests/timing/test_schedule_ab.py`) pins the equivalence
+on real workloads.
+
+Dyn (ICache/trace-cache) schedule tuple layout::
+
+    (fu, srcs, reads_flags, kind, latency, dst, writes_flags, size)
+
+Opt (frame) schedule tuple layout::
+
+    (fu, deps, reads_flags, flags_src, kind, latency, slot, writes_flags,
+     size)
+
+``kind`` is 0 for fixed-latency ops (``latency`` holds the resolved cycle
+count), 1 for loads, 2 for stores (latency resolved dynamically against
+the D-cache).  ``deps`` entries are ``(is_slot, key)``: a buffer-slot
+reference or a live-in architectural register number.
+"""
+
+from __future__ import annotations
+
+from repro.optimizer.optuop import DefRef, OptUop
+from repro.timing.config import ProcessorConfig
+from repro.uops.uop import Uop, UopOp
+
+#: ``kind`` codes in schedule tuples.
+KIND_ALU = 0
+KIND_LOAD = 1
+KIND_STORE = 2
+
+_COMPLEX_OPS = (UopOp.MUL, UopOp.DIVQ, UopOp.DIVR)
+
+
+class InstrDecode:
+    """Static per-instruction decode facts shared by all dynamic instances.
+
+    ``sched`` holds one dyn schedule tuple per uop of the instruction's
+    decode flow; ``event_kind``/``event_offset`` describe the prediction
+    event of its control uop (``None`` kind = no predictable event, e.g.
+    a direct JMP or a non-branch instruction).
+    """
+
+    __slots__ = ("sched", "event_kind", "event_offset")
+
+    def __init__(
+        self,
+        sched: tuple,
+        event_kind: str | None,
+        event_offset: int,
+    ) -> None:
+        self.sched = sched
+        self.event_kind = event_kind
+        self.event_offset = event_offset
+
+
+class FrameSchedule:
+    """Static dispatch/schedule template of one optimized frame.
+
+    Built once per frame (after optimization, when the buffer is final)
+    and cached on ``frame.sched_template``; every dynamic dispatch then
+    reuses the kept-uop list, schedule tuples, memory-uop positions, and
+    live-out commit plan without walking the buffer again.
+    """
+
+    __slots__ = (
+        "kept",
+        "sched",
+        "nslots",
+        "live_out_plan",
+        "flags_out_slot",
+        "exit_control_pos",
+        "mem_positions",
+        "fire_addresses",
+        "fetched_loads",
+        "raw_loads",
+    )
+
+    def __init__(
+        self,
+        kept: list[OptUop],
+        sched: list[tuple],
+        nslots: int,
+        live_out_plan: tuple = (),
+        flags_out_slot: int | None = None,
+        exit_control_pos: int | None = None,
+        mem_positions: tuple = (),
+        fire_addresses: list | None = None,
+        fetched_loads: int = 0,
+        raw_loads: int = 0,
+    ) -> None:
+        self.kept = kept
+        self.sched = sched
+        self.nslots = nslots
+        #: ``(arch_reg, slot)`` pairs: frame-exit registers bound to a
+        #: slot's value (LiveIn bindings leave availability unchanged).
+        self.live_out_plan = live_out_plan
+        #: slot whose flag output the frame publishes at exit, or None
+        #: when the frame leaves the outer flags availability unchanged
+        #: (no kept uop writes the live-out flags slot).
+        self.flags_out_slot = flags_out_slot
+        #: position (in ``kept``) of the frame's exit control uop.
+        self.exit_control_pos = exit_control_pos
+        #: ``(position, uop)`` pairs of the kept memory uops.
+        self.mem_positions = mem_positions
+        #: construction-time addresses, used by firing dispatches.
+        self.fire_addresses = fire_addresses if fire_addresses is not None else []
+        self.fetched_loads = fetched_loads
+        self.raw_loads = raw_loads
+
+
+class ScheduleBuilder:
+    """Builds and caches schedule templates for one processor config.
+
+    Latencies are resolved against the config at build time, so the
+    builder must share its :class:`ProcessorConfig` with the pipeline
+    model consuming its templates (the sequencers and the model are
+    constructed from the same config object).
+    """
+
+    def __init__(self, config: ProcessorConfig) -> None:
+        self.config = config
+        #: id(Instruction) -> (Instruction, InstrDecode).  The decode
+        #: depends only on instruction *content*, and the keyed object is
+        #: retained in the value, so identity keying is safe for the
+        #: builder's lifetime (one simulation run).
+        self._instr_cache: dict[int, tuple] = {}
+
+    # ------------------------------------------------------------ uops
+
+    def _fu_and_latency(self, op: UopOp) -> tuple[str, int, int]:
+        """(fu class, kind code, fixed latency) of an opcode."""
+        if op is UopOp.LOAD:
+            return "load", KIND_LOAD, 0
+        if op is UopOp.STORE:
+            return "store", KIND_STORE, 0
+        if op is UopOp.MUL:
+            return "complex", KIND_ALU, self.config.mul_latency
+        if op in (UopOp.DIVQ, UopOp.DIVR):
+            return "complex", KIND_ALU, self.config.div_latency
+        return "simple", KIND_ALU, 1
+
+    def dyn_sched(self, uop: Uop) -> tuple:
+        """Schedule tuple of one pre-rename uop (static fields only)."""
+        fu, kind, latency = self._fu_and_latency(uop.op)
+        srcs = tuple(
+            int(r)
+            for r in (uop.src_a, uop.src_b, uop.src_data)
+            if r is not None
+        )
+        return (
+            fu,
+            srcs,
+            uop.reads_flags,
+            kind,
+            latency,
+            int(uop.dst) if uop.dst is not None else None,
+            uop.writes_flags,
+            uop.size,
+        )
+
+    def opt_sched(self, uop: OptUop) -> tuple:
+        """Schedule tuple of one remapped frame uop."""
+        fu, kind, latency = self._fu_and_latency(uop.op)
+        deps = tuple(
+            (True, operand.slot)
+            if isinstance(operand, DefRef)
+            else (False, int(operand.reg))
+            for _, operand in uop.operands()
+        )
+        return (
+            fu,
+            deps,
+            uop.reads_flags,
+            uop.flags_src,
+            kind,
+            latency,
+            uop.slot,
+            uop.writes_flags,
+            uop.size,
+        )
+
+    # ----------------------------------------------------- instructions
+
+    def instr_decode(self, instr) -> InstrDecode:
+        """Cached decode facts for one injected instruction."""
+        instruction = instr.record.instruction
+        key = id(instruction)
+        hit = self._instr_cache.get(key)
+        if hit is not None:
+            return hit[1]
+        decode = self._build_instr_decode(instr)
+        self._instr_cache[key] = (instruction, decode)
+        return decode
+
+    def _build_instr_decode(self, instr) -> InstrDecode:
+        from repro.x86.instructions import Mnemonic
+
+        sched = tuple(self.dyn_sched(uop) for uop in instr.uops)
+        control_offset = None
+        for i, uop in enumerate(instr.uops):
+            if uop.op in (UopOp.BR, UopOp.JMP, UopOp.JMPI):
+                control_offset = i
+                break
+        kind: str | None = None
+        if control_offset is not None:
+            instruction = instr.record.instruction
+            mnemonic = instruction.mnemonic
+            if mnemonic is Mnemonic.JCC:
+                kind = "cond"
+            elif mnemonic is Mnemonic.CALL:
+                kind = "callind" if instruction.is_indirect else "call"
+            elif mnemonic is Mnemonic.RET:
+                kind = "ret"
+            elif mnemonic is Mnemonic.JMP and instruction.is_indirect:
+                kind = "jmpi"
+        return InstrDecode(sched, kind, control_offset or 0)
+
+    # ----------------------------------------------------------- frames
+
+    def frame_schedule(self, frame) -> FrameSchedule:
+        """Cached schedule template of an optimized frame."""
+        cached = frame.sched_template
+        if cached is not None:
+            return cached
+        buffer = frame.buffer
+        kept = [u for u in buffer.uops if u.valid]
+        sched = [self.opt_sched(u) for u in kept]
+        live_out_plan = tuple(
+            (int(reg), operand.slot)
+            for reg, operand in buffer.live_out.items()
+            if isinstance(operand, DefRef)
+        )
+        flags_out_slot = None
+        live_flags = buffer.flags_live_out_slot
+        if live_flags is not None:
+            for uop in kept:
+                if uop.slot == live_flags and uop.writes_flags:
+                    flags_out_slot = live_flags
+                    break
+        exit_control_pos = None
+        for position in range(len(kept) - 1, -1, -1):
+            if kept[position].is_control:
+                exit_control_pos = position
+                break
+        template = FrameSchedule(
+            kept=kept,
+            sched=sched,
+            nslots=_slot_span(sched, live_out_plan, flags_out_slot),
+            live_out_plan=live_out_plan,
+            flags_out_slot=flags_out_slot,
+            exit_control_pos=exit_control_pos,
+            mem_positions=tuple(
+                (i, u) for i, u in enumerate(kept) if u.is_mem
+            ),
+            fire_addresses=[
+                u.observed_address if u.is_mem else None for u in kept
+            ],
+            fetched_loads=sum(1 for u in kept if u.is_load),
+            raw_loads=sum(1 for u in frame.dyn_uops if u.is_load),
+        )
+        frame.sched_template = template
+        return template
+
+    def adhoc_frame_schedule(self, uops: list[OptUop]) -> FrameSchedule:
+        """Template for a bare OptUop list (frame blocks without a frame).
+
+        Used for hand-built test blocks; carries no live-out commit plan
+        (commit requires a frame with a buffer anyway).
+        """
+        kept = list(uops)
+        sched = [self.opt_sched(u) for u in kept]
+        return FrameSchedule(
+            kept=kept,
+            sched=sched,
+            nslots=_slot_span(sched, (), None),
+        )
+
+
+def _slot_span(sched, live_out_plan, flags_out_slot) -> int:
+    """Dense-list size covering every slot a frame schedule references."""
+    top = -1 if flags_out_slot is None else flags_out_slot
+    for entry in sched:
+        if entry[6] > top:
+            top = entry[6]
+        flags_src = entry[3]
+        if flags_src is not None and flags_src > top:
+            top = flags_src
+        for is_slot, key in entry[1]:
+            if is_slot and key > top:
+                top = key
+    for _, slot in live_out_plan:
+        if slot > top:
+            top = slot
+    return top + 1

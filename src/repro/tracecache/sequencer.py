@@ -10,7 +10,7 @@ either.
 from __future__ import annotations
 
 from repro.trace.injector import InjectedInstruction
-from repro.replay.fetch_groups import branch_event_for, build_icache_block
+from repro.replay.fetch_groups import build_icache_block, event_from_decode
 from repro.replay.sequencer import ICacheSequencer
 from repro.timing.config import ProcessorConfig
 from repro.timing.pipeline import FetchBlock
@@ -40,7 +40,9 @@ class TraceCacheSequencer(ICacheSequencer):
             matched = self._match_length(line)
             if matched > 0:
                 return self._dispatch_line(line, matched)
-        block, count = build_icache_block(self.injected, self.index, self.config)
+        block, count = build_icache_block(
+            self.injected, self.index, self.config, builder=self.sched_builder
+        )
         self._retire_region(count)
         return block
 
@@ -59,13 +61,18 @@ class TraceCacheSequencer(ICacheSequencer):
         uops: list = []
         addresses: list = []
         events = []
+        sched: list = []
+        builder = self.sched_builder
         # Use the *current* instances so dynamic annotations (addresses,
-        # branch outcomes) are right for this execution.
+        # branch outcomes) are right for this execution; decode facts and
+        # schedule tuples come from the per-instruction template cache.
         instances = self.injected[self.index : self.index + matched]
         for instr in instances:
-            event = branch_event_for(instr, len(uops))
+            decode = builder.instr_decode(instr)
+            event = event_from_decode(decode, instr.record, len(uops))
             if event is not None:
                 events.append(event)
+            sched.extend(decode.sched)
             for uop in instr.uops:
                 uops.append(uop)
                 addresses.append(uop.mem_address)
@@ -77,6 +84,7 @@ class TraceCacheSequencer(ICacheSequencer):
             x86_count=matched,
             pc=line.start_pc,
             branch_events=events,
+            sched=sched,
         )
 
     def _retire_region(self, count: int) -> None:

@@ -16,7 +16,7 @@ paper's ``ET2`` in Figure 2.  Flags form a separate implicit register:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
 from repro.x86.instructions import Cond
 
@@ -147,6 +147,38 @@ COMPLEX_ALU_OPS = frozenset({UopOp.MUL, UopOp.DIVQ, UopOp.DIVR})
 
 CONTROL_OPS = frozenset({UopOp.BR, UopOp.JMP, UopOp.JMPI})
 
+#: Shift opcodes whose flag output merges with the incoming flag word.
+FLAG_SHIFT_OPS = frozenset({UopOp.SHL, UopOp.SHR, UopOp.SAR})
+
+
+def uop_reads_flags(
+    op: UopOp,
+    cond: Cond | None,
+    preserves_cf: bool,
+    writes_flags: bool,
+    has_dynamic_count: bool,
+    imm: int | None,
+) -> bool:
+    """Whether a uop consumes the incoming flag definition.
+
+    The single flags-dependence predicate shared by :class:`Uop`,
+    :class:`repro.optimizer.optuop.OptUop`, and the timing model, so the
+    frame and ICache scheduling paths agree on the dependence graph:
+
+    * condition-consuming control (``BR``/``ASSERT``) reads flags;
+    * partial flag writers (INC/DEC-derived ``preserves_cf``) merge the
+      incoming CF into their output;
+    * a flag-writing shift whose dynamic count may be zero passes the
+      incoming flag word through unchanged, so it depends on it.
+    """
+    if cond is not None and op in (UopOp.BR, UopOp.ASSERT):
+        return True
+    if preserves_cf:
+        return True
+    if op in FLAG_SHIFT_OPS and writes_flags:
+        return has_dynamic_count or ((imm or 0) & 0x1F) == 0
+    return False
+
 
 @dataclass
 class Uop:
@@ -200,7 +232,14 @@ class Uop:
 
     @property
     def reads_flags(self) -> bool:
-        return self.cond is not None and self.op in (UopOp.BR, UopOp.ASSERT)
+        return uop_reads_flags(
+            self.op,
+            self.cond,
+            self.preserves_cf,
+            self.writes_flags,
+            self.src_b is not None,
+            self.imm,
+        )
 
     def sources(self) -> tuple[UReg, ...]:
         """All register sources, in (srcA, srcB, src_data) order."""
@@ -209,8 +248,19 @@ class Uop:
         )
 
     def copy(self, **changes) -> "Uop":
-        """Field-for-field copy with overrides (uops are mutable records)."""
-        return replace(self, **changes)
+        """Field-for-field copy with overrides (uops are mutable records).
+
+        Hand-rolled rather than ``dataclasses.replace``: copying is the
+        injector's and frame constructor's hot path (one copy per dynamic
+        uop), and ``replace`` re-runs the generated ``__init__`` — an
+        order of magnitude slower than a ``__dict__`` clone.
+        """
+        new = Uop.__new__(Uop)
+        state = dict(self.__dict__)
+        if changes:
+            state.update(changes)
+        new.__dict__ = state
+        return new
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return format_uop(self)

@@ -44,7 +44,16 @@ def test_immediate_rereference_always_hits(addresses):
 def test_access_range_touches_every_line(address, size):
     cache = Cache(CacheConfig(size_bytes=1 << 20, line_bytes=64,
                               associativity=16))
-    cache.access_range(address, size)
+    # One transaction = one statistic: a single (cold) miss, however many
+    # lines the range spans ...
+    assert not cache.access_range(address, size)
+    assert cache.misses == 1 and cache.hits == 0
+    # ... yet every spanned line was filled: re-probing each line hits.
     first = address >> 6
     last = (address + size - 1) >> 6
-    assert cache.misses == last - first + 1
+    for line in range(first, last + 1):
+        assert cache.access(line << 6)
+    assert cache.hits == last - first + 1
+    # And the whole-range re-access is a single hit.
+    assert cache.access_range(address, size)
+    assert cache.accesses == 2 + (last - first + 1)

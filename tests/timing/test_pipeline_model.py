@@ -1,5 +1,7 @@
 """Timing model: fetch bandwidth, dependences, bins, window behaviour."""
 
+import pytest
+
 from repro.timing import FetchBlock, PipelineModel, ProcessorConfig, default_config
 from repro.timing.pipeline import BranchEvent
 from repro.uops import Uop, UopOp, UReg
@@ -151,3 +153,17 @@ def test_x86_ipc_metric():
     result = PipelineModel(config).simulate(ScriptedFetcher(blocks))
     assert result.x86_retired == 160
     assert 0 < result.ipc_x86 <= config.retire_width
+
+
+def test_duplicate_branch_event_index_rejected():
+    """Two events on one uop slot would silently shadow each other."""
+    config = default_config()
+    uops = independent_alu(2)
+    events = [
+        BranchEvent(uop_index=0, kind="cond", pc=0x1000, taken=True,
+                    target=0x2000),
+        BranchEvent(uop_index=0, kind="ret", pc=0x1004, target=0x3000),
+    ]
+    block = icache_block(uops, events=events)
+    with pytest.raises(ValueError, match="duplicate branch event"):
+        PipelineModel(config).simulate(ScriptedFetcher([block]))
