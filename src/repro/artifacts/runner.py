@@ -278,14 +278,37 @@ def compute_cell(
 _WORKER_STORES: dict[str, ArtifactStore] = {}
 
 
+def resolve_worker_store(store_root: str | None) -> ArtifactStore | None:
+    """Return this process's store for ``store_root``, building it once.
+
+    A worker keeps one :class:`ArtifactStore` per root for its whole
+    lifetime, so telemetry accumulates on a single instance and repeated
+    tasks never re-read the environment.
+    """
+    if store_root is None:
+        return None
+    store = _WORKER_STORES.get(store_root)
+    if store is None:
+        store = _WORKER_STORES[store_root] = ArtifactStore(store_root)
+    return store
+
+
+def run_cell(
+    task: MatrixTask, store_root: str | None = None
+) -> tuple[ExperimentResult, TaskTelemetry, dict]:
+    """Worker-side entrypoint: resolve the store, then compute one cell.
+
+    This is the single task body shared by the matrix runner's pool
+    workers and the :mod:`repro.service` worker pool — both ship a
+    picklable ``(task, store_root)`` pair across the process boundary
+    and get back ``(result, telemetry, metrics snapshot)``.
+    """
+    return compute_cell(task, resolve_worker_store(store_root))
+
+
 def _worker(payload: tuple[MatrixTask, str | None]):
     task, store_root = payload
-    store = None
-    if store_root is not None:
-        store = _WORKER_STORES.get(store_root)
-        if store is None:
-            store = _WORKER_STORES[store_root] = ArtifactStore(store_root)
-    return compute_cell(task, store)
+    return run_cell(task, store_root)
 
 
 #: Exception types that mean "the pool itself is unusable" — the only

@@ -366,19 +366,31 @@ class ArtifactStore:
 
     # ---------------------------------------------------------- eviction
 
+    def plan_gc(self, max_bytes: int) -> list[EntryInfo]:
+        """The least-recently-used entries :meth:`gc` would evict.
+
+        Computed without deleting anything — ``cache gc --dry-run``
+        prints this plan so a budget can be rehearsed before it is
+        enforced.
+        """
+        entries = sorted(self.entries(), key=lambda e: e.mtime)
+        total = sum(e.size_bytes for e in entries)
+        plan: list[EntryInfo] = []
+        for entry in entries:
+            if total <= max_bytes:
+                break
+            plan.append(entry)
+            total -= entry.size_bytes
+        return plan
+
     def gc(self, max_bytes: int) -> tuple[int, int]:
         """Evict least-recently-used entries until under ``max_bytes``.
 
         Returns ``(entries_removed, bytes_removed)``.
         """
-        entries = sorted(self.entries(), key=lambda e: e.mtime)
-        total = sum(e.size_bytes for e in entries)
         removed = removed_bytes = 0
-        for entry in entries:
-            if total <= max_bytes:
-                break
+        for entry in self.plan_gc(max_bytes):
             self._discard(entry.path)
-            total -= entry.size_bytes
             removed += 1
             removed_bytes += entry.size_bytes
         if removed:

@@ -12,7 +12,11 @@ Usage::
     python -m repro.harness cache stats           # inspect the artifact cache
     python -m repro.harness cache ls
     python -m repro.harness cache gc --max-mb 256
+    python -m repro.harness cache gc --max-mb 256 --dry-run
     python -m repro.harness cache clear
+    python -m repro.harness serve --port 9417 --workers 4   # batch service
+    python -m repro.harness submit fig6 --port 9417         # job -> service
+    python -m repro.harness submit --workloads gzip --configs IC,TC
     python -m repro.harness fuzz run --seed 1 --iterations 10000 --jobs 4
     python -m repro.harness fuzz repro <case-id>  # replay a stored divergence
     python -m repro.harness fuzz corpus ls
@@ -94,12 +98,19 @@ def _format_age(seconds: float) -> str:
     """Entry age for ``cache ls``, clamped at zero.
 
     A future mtime (clock skew, restored backups, touched files) must
-    never render a negative age.
+    never render a negative age, and a weeks-old entry renders as
+    ``Nd Hh`` rather than an overflowing raw count.
     """
     seconds = max(0.0, seconds)
     if seconds < 1.0:
         return "<1s"
-    return f"{seconds:.0f}s"
+    if seconds < 60.0:
+        return f"{seconds:.0f}s"
+    if seconds < 3600.0:
+        return f"{int(seconds // 60)}m {int(seconds % 60)}s"
+    if seconds < 86400.0:
+        return f"{int(seconds // 3600)}h {int(seconds % 3600 // 60)}m"
+    return f"{int(seconds // 86400)}d {int(seconds % 86400 // 3600)}h"
 
 
 def cache_main(argv: list[str]) -> int:
@@ -114,6 +125,11 @@ def cache_main(argv: list[str]) -> int:
         type=float,
         default=None,
         help="gc: evict least-recently-used entries down to this size",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="gc: print what would be evicted without deleting anything",
     )
     _add_cache_flags(parser)
     _add_stats_flags(parser)
@@ -154,11 +170,26 @@ def _cache_action(parser, args, store: ArtifactStore) -> None:
     elif args.action == "gc":
         if args.max_mb is None:
             parser.error("gc requires --max-mb")
-        removed, removed_bytes = store.gc(int(args.max_mb * 1024 * 1024))
-        print(
-            f"evicted {removed} entries ({removed_bytes / (1024 * 1024):.2f} MB) "
-            f"from {store.root}"
-        )
+        max_bytes = int(args.max_mb * 1024 * 1024)
+        if args.dry_run:
+            plan = store.plan_gc(max_bytes)
+            for entry in plan:
+                age = _format_age(time.time() - entry.mtime)
+                print(
+                    f"would evict {entry.kind:<7} {entry.key[:16]}  "
+                    f"{entry.size_bytes:>10,}B  {age:>9} old  {entry.label}"
+                )
+            plan_bytes = sum(entry.size_bytes for entry in plan)
+            print(
+                f"dry run: would evict {len(plan)} entries "
+                f"({plan_bytes / (1024 * 1024):.2f} MB) from {store.root}"
+            )
+        else:
+            removed, removed_bytes = store.gc(max_bytes)
+            print(
+                f"evicted {removed} entries ({removed_bytes / (1024 * 1024):.2f} MB) "
+                f"from {store.root}"
+            )
 
 
 class _NoMatrix:
@@ -181,6 +212,198 @@ def _emit_cache_ledger(argv: list[str], args, store: ArtifactStore) -> None:
     )
     write_ledger(args.emit_stats, ledger)
     print(f"[repro.metrics] run ledger written to {args.emit_stats}", file=sys.stderr)
+
+
+def serve_main(argv: list[str]) -> int:
+    """The ``serve`` subcommand: run the batch simulation service."""
+    import asyncio
+    import logging
+
+    from repro.service.server import DEFAULT_PORT, ServiceConfig, serve_forever
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness serve",
+        description="Run the async batch simulation service "
+        "(JSON lines over TCP; drain with SIGTERM).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"TCP port (default {DEFAULT_PORT}; 0 = pick an ephemeral port)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="warm worker processes in the persistent pool",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=64,
+        help="bounded queue depth; submits beyond it shed with queue_full",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-job wall-clock timeout in seconds (unset = none)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=8,
+        help="max cells dispatched to one worker as a single batch",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=60.0,
+        help="seconds to wait for in-flight jobs on SIGTERM before failing them",
+    )
+    _add_cache_flags(parser)
+    _add_stats_flags(parser)
+    args = parser.parse_args(argv)
+
+    logging.basicConfig(
+        level=logging.INFO, format="[%(name)s] %(message)s", stream=sys.stderr
+    )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        default_timeout=args.timeout,
+        max_batch=args.max_batch,
+        cache_dir=args.cache_dir,
+        drain_timeout=args.drain_timeout,
+    )
+    with profiled(enabled=args.profile):
+        service = asyncio.run(serve_forever(config, registry=get_registry()))
+    if args.emit_stats:
+        ledger = build_run_ledger(
+            argv, ["serve"], _NoMatrix(service.store), registry=get_registry()
+        )
+        write_ledger(args.emit_stats, ledger)
+        print(
+            f"[repro.metrics] run ledger written to {args.emit_stats}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+#: Named matrices the ``submit`` subcommand can expand client-side.
+#: (fig9/fig10 use ablated optimizer variants that are not addressable
+#: by name over protocol v1.)
+SUBMIT_EXPERIMENTS = ("fig6", "fig7", "fig8", "table3")
+
+
+def _submit_cells(args) -> list:
+    from repro.harness.figures import PAPER_ORDER
+    from repro.service.protocol import CellSpec
+
+    if args.experiment:
+        if args.workloads or args.configs:
+            raise SystemExit(
+                "submit: give either an experiment name or "
+                "--workloads/--configs, not both"
+            )
+        if args.experiment == "fig6":
+            workloads, configs = PAPER_ORDER, ("IC", "TC", "RP", "RPO")
+        elif args.experiment == "fig7":
+            workloads, configs = PAPER_ORDER[:7], ("RP", "RPO")
+        elif args.experiment == "fig8":
+            workloads, configs = PAPER_ORDER[7:], ("RP", "RPO")
+        else:  # table3
+            workloads, configs = PAPER_ORDER, ("RP", "RPO")
+    else:
+        if not (args.workloads and args.configs):
+            raise SystemExit(
+                "submit: need an experiment name or both --workloads and "
+                "--configs"
+            )
+        workloads = [w for w in args.workloads.split(",") if w]
+        configs = [c for c in args.configs.split(",") if c]
+    return [
+        CellSpec(workload=w, config=c, scale=args.scale, seed=args.seed)
+        for w in workloads
+        for c in configs
+    ]
+
+
+def submit_main(argv: list[str]) -> int:
+    """The ``submit`` subcommand: run a job on a running service."""
+    import json
+
+    from repro.service.client import DEFAULT_PORT, Client, ServiceError
+    from repro.service.protocol import PRIORITIES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness submit",
+        description="Submit a (workload x config) job to a running "
+        "`serve` instance and stream its cells as they finish.",
+    )
+    parser.add_argument(
+        "experiment", nargs="?", default=None, choices=SUBMIT_EXPERIMENTS,
+        help="named matrix to submit (or use --workloads/--configs)",
+    )
+    parser.add_argument("--workloads", default=None, metavar="A,B,...")
+    parser.add_argument(
+        "--configs", default=None, metavar="IC,TC,...",
+        help="config names from the CONFIGS registry (IC, IC64, TC, RP, RPO)",
+    )
+    parser.add_argument("--scale", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument(
+        "--priority", choices=PRIORITIES, default="batch",
+        help="queue priority class",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job wall-clock timeout in seconds",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print one sorted-key JSON object per cell instead of a table",
+    )
+    args = parser.parse_args(argv)
+    cells = _submit_cells(args)
+
+    def on_cell(cell) -> None:
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "index": cell.index,
+                        "workload": cell.workload,
+                        "config": cell.config,
+                        "cached": cell.cached,
+                        "entry": cell.entry,
+                    },
+                    sort_keys=True,
+                ),
+                flush=True,
+            )
+        else:
+            origin = "cached" if cell.cached else f"{cell.seconds:.2f}s"
+            print(
+                f"{cell.workload:<8} {cell.config:<6} "
+                f"IPC {cell.entry['ipc_x86']:.3f}  "
+                f"{cell.entry['cycles']:>10,} cycles  [{origin}]",
+                flush=True,
+            )
+
+    client = Client(host=args.host, port=args.port)
+    try:
+        outcome = client.submit(
+            cells, priority=args.priority, timeout=args.timeout, on_cell=on_cell
+        )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"[repro.service] job {outcome.job_id} {outcome.state}: "
+        f"{len(outcome.entries)} cells ({outcome.cells_cached} cached, "
+        f"{outcome.cells_computed} computed) in {outcome.seconds:.2f}s",
+        file=sys.stderr,
+    )
+    if not outcome.ok:
+        if outcome.error:
+            print(f"error: {outcome.error}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def stats_main(argv: list[str]) -> int:
@@ -209,6 +432,10 @@ def main(argv: list[str] | None = None) -> int:
         return cache_main(argv[1:])
     if argv and argv[0] == "stats":
         return stats_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        return submit_main(argv[1:])
     if argv and argv[0] == "fuzz":
         from repro.fuzz.cli import fuzz_main
 

@@ -16,6 +16,7 @@ from repro.metrics.ledger import (
     build_run_ledger,
     format_ledger,
     read_ledger,
+    result_entry,
     validate_ledger,
     write_ledger,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "get_registry",
     "profiled",
     "read_ledger",
+    "result_entry",
     "validate_ledger",
     "write_ledger",
 ]

@@ -34,7 +34,15 @@ class LedgerError(ValueError):
 # ------------------------------------------------------------------ build
 
 
-def _result_entry(workload: str, config_name: str, result) -> dict:
+def result_entry(workload: str, config_name: str, result) -> dict:
+    """One cell's measurements as plain JSON-ready data.
+
+    This is the canonical per-cell serialization: the ledger's
+    ``results`` section and the :mod:`repro.service` streaming protocol
+    both use it, which is what makes a served cell byte-comparable
+    (after ``json.dumps(..., sort_keys=True)``) to a locally computed
+    one.
+    """
     sim = result.sim
     entry = {
         "workload": workload,
@@ -106,7 +114,7 @@ def build_run_ledger(
         for t in matrix.telemetry
     ]
     results = [
-        _result_entry(workload, config_name, result)
+        result_entry(workload, config_name, result)
         for (workload, config_name), result in sorted(matrix._results.items())
     ]
     passes: dict[str, int] = {}

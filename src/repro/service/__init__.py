@@ -1,0 +1,49 @@
+"""Async batch simulation service: job queue, warm workers, streaming.
+
+The serving-shaped layer on top of the experiment matrix: a long-lived
+asyncio JSON-lines-over-TCP service (stdlib only) that amortizes the
+per-process warm-up — imports, workload registration, the artifact
+store, schedule-template caches — across every job it serves.
+
+Pieces:
+
+* :mod:`repro.service.protocol` — versioned wire messages;
+* :mod:`repro.service.jobs` — jobs, the bounded fair-share queue;
+* :mod:`repro.service.pool` — persistent warm worker pool;
+* :mod:`repro.service.scheduler` — batching, dispatch, timeouts, retries;
+* :mod:`repro.service.server` — the asyncio front end and lifecycle;
+* :mod:`repro.service.client` — the blocking client used by ``submit``.
+
+Entry points: ``python -m repro.harness serve`` / ``submit``.
+"""
+
+from repro.service.client import Client, JobOutcome, ServiceError
+from repro.service.jobs import Job, JobQueue, JobTable, QueueFullError
+from repro.service.pool import WorkerPool
+from repro.service.protocol import PROTOCOL_VERSION, CellSpec, ProtocolError
+from repro.service.scheduler import Scheduler
+from repro.service.server import (
+    DEFAULT_PORT,
+    Service,
+    ServiceConfig,
+    serve_forever,
+)
+
+__all__ = [
+    "Client",
+    "CellSpec",
+    "DEFAULT_PORT",
+    "Job",
+    "JobOutcome",
+    "JobQueue",
+    "JobTable",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueueFullError",
+    "Scheduler",
+    "Service",
+    "ServiceConfig",
+    "ServiceError",
+    "WorkerPool",
+    "serve_forever",
+]

@@ -1,0 +1,191 @@
+"""Blocking JSON-lines client for the batch simulation service.
+
+Deliberately tiny and synchronous — the ``submit`` subcommand, the CI
+smoke job, and scripts just want "send cells, iterate results".  Each
+call opens its own connection (the protocol is stateless per request;
+``submit`` keeps its connection open only for the duration of the
+stream), so one :class:`Client` can be shared freely.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.service.protocol import (
+    CancelledResponse,
+    CancelRequest,
+    CellResult,
+    CellSpec,
+    ErrorResponse,
+    HealthRequest,
+    HealthResponse,
+    JobDone,
+    MetricsRequest,
+    MetricsResponse,
+    ProtocolError,
+    ResultRequest,
+    ResultResponse,
+    StatusRequest,
+    StatusResponse,
+    SubmitRequest,
+    SubmittedResponse,
+    decode_response,
+    encode_message,
+)
+
+DEFAULT_PORT = 9417
+
+
+class ServiceError(RuntimeError):
+    """A structured error answer (or transport/protocol failure)."""
+
+    def __init__(self, code: str, message: str, queue_depth: int | None = None):
+        self.code = code
+        self.queue_depth = queue_depth
+        super().__init__(f"{code}: {message}")
+
+
+@dataclass
+class JobOutcome:
+    """Everything a finished ``submit`` produced."""
+
+    job_id: str
+    state: str  # done | failed | timeout | cancelled
+    entries: list = field(default_factory=list)  # index-ordered result entries
+    cells_cached: int = 0
+    cells_computed: int = 0
+    seconds: float = 0.0
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.state == "done"
+
+
+def default_client_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class Client:
+    """Blocking client; ``timeout`` bounds connect and per-line reads."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float | None = None,
+        client_id: str | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.client_id = client_id or default_client_id()
+
+    # ------------------------------------------------------------ plumbing
+
+    def _connect(self) -> socket.socket:
+        try:
+            return socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ServiceError(
+                "unreachable", f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+
+    @staticmethod
+    def _read_message(stream):
+        line = stream.readline()
+        if not line:
+            raise ServiceError("disconnected", "server closed the connection")
+        try:
+            message = decode_response(line)
+        except ProtocolError as exc:
+            raise ServiceError(exc.code, str(exc)) from exc
+        if isinstance(message, ErrorResponse):
+            raise ServiceError(
+                message.code, message.message, queue_depth=message.queue_depth
+            )
+        return message
+
+    def request(self, message):
+        """One request, one response, one connection."""
+        with self._connect() as sock:
+            with sock.makefile("rwb") as stream:
+                stream.write(encode_message(message))
+                stream.flush()
+                return self._read_message(stream)
+
+    # ------------------------------------------------------------- queries
+
+    def health(self) -> HealthResponse:
+        return self.request(HealthRequest())
+
+    def metrics(self) -> MetricsResponse:
+        return self.request(MetricsRequest())
+
+    def status(self, job_id: str) -> StatusResponse:
+        return self.request(StatusRequest(job_id=job_id))
+
+    def result(self, job_id: str) -> ResultResponse:
+        return self.request(ResultRequest(job_id=job_id))
+
+    def cancel(self, job_id: str) -> CancelledResponse:
+        return self.request(CancelRequest(job_id=job_id))
+
+    # -------------------------------------------------------------- submit
+
+    def submit(
+        self,
+        cells: Iterable[CellSpec],
+        priority: str = "batch",
+        timeout: float | None = None,
+        on_cell: Callable[[CellResult], None] | None = None,
+    ) -> JobOutcome:
+        """Submit one job and block until it finishes.
+
+        ``on_cell`` fires for every streamed cell as it arrives (the
+        CLI uses it to print results incrementally); the returned
+        :class:`JobOutcome` has the complete index-ordered entries.
+        Raises :class:`ServiceError` on structured rejections
+        (``queue_full``, ``draining``, ``bad_request``, ...); a job that
+        *ran* but did not finish cleanly comes back as an outcome with
+        ``state`` set to ``failed``/``timeout``/``cancelled``.
+        """
+        request = SubmitRequest(
+            cells=list(cells),
+            priority=priority,
+            timeout=timeout,
+            client=self.client_id,
+        )
+        with self._connect() as sock:
+            with sock.makefile("rwb") as stream:
+                stream.write(encode_message(request))
+                stream.flush()
+                submitted = self._read_message(stream)
+                if not isinstance(submitted, SubmittedResponse):
+                    raise ServiceError(
+                        "protocol",
+                        f"expected 'submitted', got {submitted.TYPE!r}",
+                    )
+                entries: list = [None] * submitted.cells_total
+                while True:
+                    message = self._read_message(stream)
+                    if isinstance(message, CellResult):
+                        if 0 <= message.index < len(entries):
+                            entries[message.index] = message.entry
+                        if on_cell is not None:
+                            on_cell(message)
+                    elif isinstance(message, JobDone):
+                        return JobOutcome(
+                            job_id=message.job_id,
+                            state=message.state,
+                            entries=entries,
+                            cells_cached=message.cells_cached,
+                            cells_computed=message.cells_computed,
+                            seconds=message.seconds,
+                            error=message.error,
+                        )

@@ -1,0 +1,242 @@
+"""Jobs, the bounded fair-share job queue, and the job table.
+
+The queue is the service's backpressure boundary: depth is bounded and
+a push over the bound raises :class:`QueueFullError` — the server turns
+that into a structured ``queue_full`` error and the client decides
+whether to retry, rather than the server buffering unboundedly until
+memory dies.  (uops.info's measurement service takes the same stance:
+admission is cheap, execution is the scarce resource.)
+
+Scheduling policy, in order:
+
+1. **priority class** — every ``interactive`` job pops before any
+   ``batch`` job (:data:`repro.service.protocol.PRIORITIES`);
+2. **per-client fairness** — within a class, clients are served
+   round-robin, so one client queueing 50 jobs cannot starve a client
+   queueing 1;
+3. **FIFO** — within one client's jobs.
+
+The queue is a plain data structure (no locks): the service drives it
+from a single asyncio event loop, and the unit tests drive it directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.artifacts.runner import MatrixTask
+from repro.service.protocol import PRIORITIES
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TIMEOUT = "timeout"
+CANCELLED = "cancelled"
+
+FINISHED_STATES = (DONE, FAILED, TIMEOUT, CANCELLED)
+
+
+class QueueFullError(RuntimeError):
+    """The bounded queue refused a push (shed, not buffered)."""
+
+    def __init__(self, depth: int, max_depth: int) -> None:
+        self.depth = depth
+        self.max_depth = max_depth
+        super().__init__(f"queue full ({depth}/{max_depth} jobs)")
+
+
+@dataclass
+class Job:
+    """One submitted batch of cells and everything known about it."""
+
+    job_id: str
+    client: str
+    cells: list[MatrixTask]
+    priority: str = "batch"
+    timeout: float | None = None
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    retries: int = 0
+    cancel_requested: bool = False
+    #: Set when a timeout abandoned a cell a worker was still running
+    #: (the scheduler restarts the pool to actually stop that work).
+    left_running_in_worker: bool = False
+    error: str | None = None
+    #: Per-cell result entries, index-aligned with ``cells`` (None = pending).
+    entries: list = field(default_factory=list)
+    cells_cached: int = 0
+    cells_computed: int = 0
+    #: Live asyncio.Queue per streaming subscriber (submit connections).
+    subscribers: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            self.entries = [None] * len(self.cells)
+
+    @property
+    def cells_done(self) -> int:
+        return sum(1 for entry in self.entries if entry is not None)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in FINISHED_STATES
+
+    @property
+    def seconds(self) -> float:
+        if not self.started_at:
+            return 0.0
+        end = self.finished_at or time.monotonic()
+        return end - self.started_at
+
+    def publish(self, message) -> None:
+        """Push one protocol message to every streaming subscriber."""
+        for queue in list(self.subscribers):
+            queue.put_nowait(message)
+
+    def subscribe(self, queue) -> None:
+        self.subscribers.append(queue)
+
+    def unsubscribe(self, queue) -> None:
+        if queue in self.subscribers:
+            self.subscribers.remove(queue)
+
+    def reset_for_requeue(self) -> None:
+        """Back to the queue after a timeout: keep finished entries.
+
+        Cells that completed before the timeout stay filled (their
+        results are in the artifact store anyway); the retry run
+        re-probes the store and only recomputes what's missing.
+        """
+        self.state = QUEUED
+        self.started_at = 0.0
+        self.finished_at = 0.0
+
+
+class JobQueue:
+    """Bounded, priority-classed, per-client fair job queue."""
+
+    def __init__(self, max_depth: int = 64) -> None:
+        self.max_depth = max_depth
+        #: priority -> client -> FIFO of jobs
+        self._queues: dict[str, dict[str, deque[Job]]] = {
+            priority: {} for priority in PRIORITIES
+        }
+        #: priority -> round-robin order of client ids
+        self._rr: dict[str, deque[str]] = {priority: deque() for priority in PRIORITIES}
+        self._depth = 0
+
+    def __len__(self) -> int:
+        return self._depth
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def push(self, job: Job, force: bool = False) -> None:
+        """Enqueue one job; raise :class:`QueueFullError` when at depth.
+
+        ``force`` bypasses the bound — used only for requeue-after-
+        timeout, where the job was already admitted once and shedding it
+        now would turn backpressure into data loss.
+        """
+        if job.priority not in self._queues:
+            raise ValueError(f"unknown priority {job.priority!r}")
+        if not force and self._depth >= self.max_depth:
+            raise QueueFullError(self._depth, self.max_depth)
+        per_client = self._queues[job.priority]
+        if job.client not in per_client:
+            per_client[job.client] = deque()
+            self._rr[job.priority].append(job.client)
+        per_client[job.client].append(job)
+        self._depth += 1
+
+    def pop(self) -> Job | None:
+        """Next job per (priority class, client round-robin, FIFO)."""
+        for priority in PRIORITIES:
+            rr = self._rr[priority]
+            per_client = self._queues[priority]
+            for _ in range(len(rr)):
+                client = rr[0]
+                rr.rotate(-1)  # served (or empty) clients go to the back
+                queue = per_client.get(client)
+                if queue:
+                    job = queue.popleft()
+                    self._depth -= 1
+                    return job
+        return None
+
+    def remove(self, job_id: str) -> Job | None:
+        """Drop one queued job (cancellation); None if not queued."""
+        for per_client in self._queues.values():
+            for queue in per_client.values():
+                for job in queue:
+                    if job.job_id == job_id:
+                        queue.remove(job)
+                        self._depth -= 1
+                        return job
+        return None
+
+    def position(self, job_id: str) -> int:
+        """0-based pop-order position of a queued job, or -1.
+
+        Approximate under fairness (the true pop order depends on
+        arrival interleaving), but exact for priority boundaries: an
+        interactive job always reports ahead of every batch job.
+        """
+        index = 0
+        for priority in PRIORITIES:
+            queues = [q for q in self._queues[priority].values() if q]
+            for rank in itertools.count():
+                layer = [q[rank] for q in queues if rank < len(q)]
+                if not layer:
+                    break
+                for job in layer:
+                    if job.job_id == job_id:
+                        return index
+                    index += 1
+        return -1
+
+
+class JobTable:
+    """Every job the service has seen this process, by id."""
+
+    def __init__(self) -> None:
+        self._jobs: dict[str, Job] = {}
+        self._counter = itertools.count(1)
+
+    def create(
+        self,
+        client: str,
+        cells: list[MatrixTask],
+        priority: str = "batch",
+        timeout: float | None = None,
+    ) -> Job:
+        job_id = f"job-{next(self._counter)}"
+        job = self._jobs[job_id] = Job(
+            job_id=job_id,
+            client=client,
+            cells=cells,
+            priority=priority,
+            timeout=timeout,
+        )
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def discard(self, job_id: str) -> None:
+        """Forget a job that was shed before it was ever queued."""
+        self._jobs.pop(job_id, None)
+
+    def unfinished(self) -> list[Job]:
+        return [job for job in self._jobs.values() if not job.finished]
+
+    def __len__(self) -> int:
+        return len(self._jobs)

@@ -1,0 +1,299 @@
+"""Versioned JSON-lines wire protocol for the batch simulation service.
+
+One message per line, UTF-8 JSON, newline-terminated.  Every message
+carries ``{"v": <protocol version>, "type": <wire name>, ...fields}``;
+the remaining keys map 1:1 onto the dataclass fields below.  Unknown
+*versions* and unknown *types* are rejected with
+:class:`ProtocolError` (the server answers with a structured ``error``
+message); unknown *fields* are ignored, so a v1 peer survives additive
+growth within the version.
+
+Request types:  ``submit`` ``status`` ``result`` ``cancel`` ``health``
+``metrics``.  Response types: ``submitted`` ``cell`` ``done``
+``status`` ``result`` ``cancelled`` ``health`` ``metrics`` ``error``.
+
+A ``submit`` is answered by one ``submitted``, then a stream of
+``cell`` messages as cells finish (a 14-workload fig6 job streams 14
+batches incrementally, not one blob at the end), then one ``done``.
+The ``entry`` payload of a ``cell`` is
+:func:`repro.metrics.ledger.result_entry` — the same canonical
+per-cell serialization the run ledger uses — so a served cell is
+byte-comparable (``json.dumps(entry, sort_keys=True)``) to one
+computed locally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+
+#: Bump on any incompatible wire change; old peers are rejected with a
+#: structured ``unsupported_version`` error naming the supported set.
+PROTOCOL_VERSION = 1
+SUPPORTED_VERSIONS = (1,)
+
+#: Priority classes, highest first (queue pops interactive before batch).
+PRIORITIES = ("interactive", "batch")
+
+#: Structured error codes the server can answer with.
+ERR_UNSUPPORTED_VERSION = "unsupported_version"
+ERR_MALFORMED = "malformed"
+ERR_UNKNOWN_TYPE = "unknown_type"
+ERR_BAD_REQUEST = "bad_request"
+ERR_QUEUE_FULL = "queue_full"
+ERR_DRAINING = "draining"
+ERR_UNKNOWN_JOB = "unknown_job"
+ERR_INTERNAL = "internal"
+
+
+class ProtocolError(ValueError):
+    """A message that cannot be decoded (or must be rejected)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One requested (workload, configuration) cell.
+
+    ``config`` is a name from :data:`repro.harness.experiment.CONFIGS`;
+    v1 of the protocol does not ship arbitrary configurations over the
+    wire.
+    """
+
+    workload: str
+    config: str
+    scale: int | None = None
+    seed: int = 1
+
+
+# ---------------------------------------------------------------- requests
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    TYPE = "submit"
+    cells: list[CellSpec] = field(default_factory=list)
+    priority: str = "batch"
+    timeout: float | None = None
+    client: str = ""
+
+
+@dataclass(frozen=True)
+class StatusRequest:
+    TYPE = "status"
+    job_id: str = ""
+
+
+@dataclass(frozen=True)
+class ResultRequest:
+    TYPE = "result"
+    job_id: str = ""
+
+
+@dataclass(frozen=True)
+class CancelRequest:
+    TYPE = "cancel"
+    job_id: str = ""
+
+
+@dataclass(frozen=True)
+class HealthRequest:
+    TYPE = "health"
+
+
+@dataclass(frozen=True)
+class MetricsRequest:
+    TYPE = "metrics"
+
+
+# --------------------------------------------------------------- responses
+
+
+@dataclass(frozen=True)
+class SubmittedResponse:
+    TYPE = "submitted"
+    job_id: str = ""
+    cells_total: int = 0
+    position: int = 0  # queue position at submit time (0 = next)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One finished cell, streamed as soon as its batch completes."""
+
+    TYPE = "cell"
+    job_id: str = ""
+    index: int = 0
+    workload: str = ""
+    config: str = ""
+    cached: bool = False
+    seconds: float = 0.0
+    entry: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class JobDone:
+    TYPE = "done"
+    job_id: str = ""
+    state: str = ""  # done | failed | timeout | cancelled
+    cells_total: int = 0
+    cells_cached: int = 0
+    cells_computed: int = 0
+    seconds: float = 0.0
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class StatusResponse:
+    TYPE = "status"
+    job_id: str = ""
+    state: str = ""
+    cells_total: int = 0
+    cells_done: int = 0
+    position: int = -1  # -1 = not queued (running or finished)
+
+
+@dataclass(frozen=True)
+class ResultResponse:
+    TYPE = "result"
+    job_id: str = ""
+    state: str = ""
+    entries: list = field(default_factory=list)  # index-ordered; None gaps
+
+
+@dataclass(frozen=True)
+class CancelledResponse:
+    TYPE = "cancelled"
+    job_id: str = ""
+    state: str = ""
+
+
+@dataclass(frozen=True)
+class HealthResponse:
+    TYPE = "health"
+    ok: bool = True
+    uptime_seconds: float = 0.0
+    queue_depth: int = 0
+    queue_capacity: int = 0
+    jobs_active: int = 0
+    jobs_completed: int = 0
+    workers: int = 0
+    draining: bool = False
+
+
+@dataclass(frozen=True)
+class MetricsResponse:
+    """A :meth:`MetricsRegistry.snapshot` minus the event ring."""
+
+    TYPE = "metrics"
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    TYPE = "error"
+    code: str = ERR_INTERNAL
+    message: str = ""
+    job_id: str | None = None
+    queue_depth: int | None = None  # populated on queue_full sheds
+
+
+REQUEST_TYPES = {
+    cls.TYPE: cls
+    for cls in (
+        SubmitRequest,
+        StatusRequest,
+        ResultRequest,
+        CancelRequest,
+        HealthRequest,
+        MetricsRequest,
+    )
+}
+
+RESPONSE_TYPES = {
+    cls.TYPE: cls
+    for cls in (
+        SubmittedResponse,
+        CellResult,
+        JobDone,
+        StatusResponse,
+        ResultResponse,
+        CancelledResponse,
+        HealthResponse,
+        MetricsResponse,
+        ErrorResponse,
+    )
+}
+
+
+# ------------------------------------------------------------ encode/decode
+
+
+def encode_message(message) -> bytes:
+    """Serialize one dataclass message to a newline-terminated JSON line."""
+    payload = {"v": PROTOCOL_VERSION, "type": message.TYPE}
+    for f in dataclasses.fields(message):
+        value = getattr(message, f.name)
+        if isinstance(value, list):
+            value = [
+                dataclasses.asdict(item) if dataclasses.is_dataclass(item) else item
+                for item in value
+            ]
+        payload[f.name] = value
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _decode(line: bytes | str, types: dict[str, type]):
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(ERR_MALFORMED, f"not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(ERR_MALFORMED, "message must be a JSON object")
+    version = payload.get("v")
+    if version not in SUPPORTED_VERSIONS:
+        raise ProtocolError(
+            ERR_UNSUPPORTED_VERSION,
+            f"protocol version {version!r} not supported "
+            f"(supported: {list(SUPPORTED_VERSIONS)})",
+        )
+    type_name = payload.get("type")
+    cls = types.get(type_name)
+    if cls is None:
+        raise ProtocolError(ERR_UNKNOWN_TYPE, f"unknown message type {type_name!r}")
+    known = {f.name: f for f in dataclasses.fields(cls)}
+    kwargs = {}
+    for name, f in known.items():
+        if name not in payload:
+            continue  # field defaults cover additive evolution
+        value = payload[name]
+        if cls is SubmitRequest and name == "cells":
+            if not isinstance(value, list):
+                raise ProtocolError(ERR_MALFORMED, "cells must be a list")
+            try:
+                value = [CellSpec(**cell) for cell in value]
+            except TypeError as exc:
+                raise ProtocolError(ERR_MALFORMED, f"bad cell spec: {exc}") from exc
+        kwargs[name] = value
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ProtocolError(ERR_MALFORMED, f"bad {type_name} message: {exc}") from exc
+
+
+def decode_request(line: bytes | str):
+    """Decode one client→server line; raises :class:`ProtocolError`."""
+    return _decode(line, REQUEST_TYPES)
+
+
+def decode_response(line: bytes | str):
+    """Decode one server→client line; raises :class:`ProtocolError`."""
+    return _decode(line, RESPONSE_TYPES)

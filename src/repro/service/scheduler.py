@@ -1,0 +1,357 @@
+"""Scheduler: pops jobs, batches compatible cells, drives the warm pool.
+
+Execution order per job:
+
+1. **store short-circuit** — every cell is probed against the artifact
+   store in the server process first; hits stream back immediately and
+   never touch the worker pool (a warm resubmission of a whole fig6 job
+   does zero pool dispatches);
+2. **batching** — remaining cells are grouped by compatibility (same
+   workload, scale, and seed — i.e. same dynamic trace) into batches of
+   at most ``max_batch`` cells, so one worker emulates or loads the
+   trace once and simulates every configuration against it;
+3. **fan-out** — batches dispatch concurrently onto the persistent
+   :class:`repro.service.pool.WorkerPool`; cells stream to subscribers
+   as their batch completes.
+
+Failure handling (the failure-mode matrix in DESIGN.md §12):
+
+* **wall-clock timeout** — the job's dispatch tasks are cancelled
+  (pending pool work is revoked; if a cell was already running in a
+  worker the pool is restarted so the runaway work actually stops) and
+  the job is requeued once with its finished cells kept, then failed as
+  ``timeout`` on the second expiry.  Timeouts land in the metrics
+  events ring, so ``--emit-stats`` ledgers record them.
+* **worker crash** — a dead worker breaks the whole stdlib pool; the
+  pool is restarted and the in-flight batch retried once before the job
+  fails.  Other batches of the same job retry independently.
+* **cell bug** — a cell's own exception (:class:`MatrixTaskError`)
+  fails its job immediately with the original error text; it is never
+  retried (it would fail identically) and never kills the service.
+
+Jobs run one at a time (parallelism lives *inside* a job, across its
+batches); fairness between clients is the queue's pop order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.artifacts.runner import MatrixTask, result_key
+from repro.artifacts.store import ArtifactStore
+from repro.metrics import MetricsRegistry
+from repro.metrics.ledger import result_entry
+from repro.service import jobs as jobstates
+from repro.service.jobs import Job, JobQueue
+from repro.service.pool import WorkerPool
+from repro.service.protocol import CellResult, JobDone
+
+log = logging.getLogger("repro.service")
+
+#: Counters pre-touched at construction so a ``metrics`` response shows
+#: every service counter (at zero) from the first request onward.
+_COUNTERS = (
+    "service.jobs_submitted",
+    "service.jobs_done",
+    "service.jobs_failed",
+    "service.jobs_timeout",
+    "service.jobs_cancelled",
+    "service.cells_cached",
+    "service.cells_computed",
+    "service.batches",
+    "service.sheds",
+    "service.timeouts",
+    "service.requeues",
+    "service.retries",
+    "service.worker_crashes",
+    "service.worker_restarts",
+)
+
+
+class JobFailure(RuntimeError):
+    """A job must fail (cell bug, repeated crash); the service survives."""
+
+
+class _JobCancelled(Exception):
+    """Internal: a running job noticed its cancel flag between batches."""
+
+
+class Scheduler:
+    """Single-consumer job executor over a :class:`JobQueue`."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        pool: WorkerPool,
+        store: ArtifactStore | None,
+        registry: MetricsRegistry,
+        default_timeout: float | None = None,
+        max_batch: int = 8,
+    ) -> None:
+        self.queue = queue
+        self.pool = pool
+        self.store = store
+        self.registry = registry
+        self.default_timeout = default_timeout
+        self.max_batch = max(1, max_batch)
+        self._wake = asyncio.Event()
+        self._draining = False
+        self.drained = asyncio.Event()
+        self._restart_lock = asyncio.Lock()
+        self._task: asyncio.Task | None = None
+        self.active_job: Job | None = None
+        for name in _COUNTERS:
+            registry.counter(name)
+
+    # ----------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        self._task = asyncio.get_running_loop().create_task(self.run())
+
+    def wake(self) -> None:
+        self._wake.set()
+
+    def drain(self) -> None:
+        """Finish everything already admitted, then stop."""
+        self._draining = True
+        self._wake.set()
+
+    def stop(self) -> None:
+        """Hard stop (drain-timeout expiry): abandon the run loop."""
+        if self._task is not None:
+            self._task.cancel()
+        self.drained.set()
+
+    async def run(self) -> None:
+        while True:
+            job = self.queue.pop()
+            self.registry.gauge("service.queue_depth").set(self.queue.depth)
+            if job is None:
+                if self._draining:
+                    break
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            if job.cancel_requested:
+                self._finish(job, jobstates.CANCELLED)
+                continue
+            self.active_job = job
+            try:
+                await self._run_job(job)
+            finally:
+                self.active_job = None
+        self.drained.set()
+
+    # ----------------------------------------------------------- execution
+
+    async def _run_job(self, job: Job) -> None:
+        job.state = jobstates.RUNNING
+        job.started_at = time.monotonic()
+        self.registry.histogram("service.job_wait_seconds").observe(
+            job.started_at - job.submitted_at
+        )
+        timeout = job.timeout if job.timeout is not None else self.default_timeout
+        try:
+            await asyncio.wait_for(self._execute(job), timeout)
+        except asyncio.TimeoutError:
+            self.registry.counter("service.timeouts").inc()
+            self.registry.event(
+                "job_timeout",
+                job_id=job.job_id,
+                timeout=timeout,
+                retries=job.retries,
+                cells_done=job.cells_done,
+            )
+            if job.left_running_in_worker:
+                # Revoking queued pool work is free; in-flight work can
+                # only be stopped by replacing the pool.
+                await self._restart_pool(self.pool.generation)
+            if (
+                job.retries < 1
+                and not job.cancel_requested
+                and not self._draining
+            ):
+                job.retries += 1
+                job.reset_for_requeue()
+                self.registry.counter("service.requeues").inc()
+                self.queue.push(job, force=True)
+                self._wake.set()
+                return
+            self._finish(
+                job, jobstates.TIMEOUT, error=f"timed out after {timeout:.1f}s"
+            )
+        except _JobCancelled:
+            self._finish(job, jobstates.CANCELLED)
+        except JobFailure as exc:
+            self._finish(job, jobstates.FAILED, error=str(exc))
+        except Exception as exc:  # a cell's own bug (e.g. MatrixTaskError)
+            log.exception("job %s failed", job.job_id)
+            self._finish(
+                job, jobstates.FAILED, error=f"{type(exc).__name__}: {exc}"
+            )
+        else:
+            if job.cancel_requested:
+                self._finish(job, jobstates.CANCELLED)
+            else:
+                self._finish(job, jobstates.DONE)
+
+    async def _execute(self, job: Job) -> None:
+        self._serve_cached(job)
+        batches = self._plan_batches(job)
+        if not batches:
+            return
+        pending: set[Future] = set()
+        job.left_running_in_worker = False
+        tasks = [
+            asyncio.ensure_future(self._dispatch(batch, pending))
+            for batch in batches
+        ]
+        try:
+            for done in asyncio.as_completed(tasks):
+                outputs = await done
+                for output in outputs:
+                    self._deliver(job, output)
+                if job.cancel_requested:
+                    raise _JobCancelled()
+        finally:
+            # Runs on success, failure, cancel, and wait_for timeout:
+            # revoke pool work that never started, note anything a worker
+            # is still chewing on, and reap the dispatch tasks.
+            for future in list(pending):
+                if not future.cancel() and not future.done():
+                    job.left_running_in_worker = True
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    def _serve_cached(self, job: Job) -> None:
+        """Stream store hits immediately; they never touch the pool."""
+        if self.store is None:
+            return
+        from repro.harness.experiment import ExperimentResult
+
+        for index, task in enumerate(job.cells):
+            if job.entries[index] is not None:
+                continue
+            key = result_key(task.workload, task.config, task.scale, task.seed)
+            cached = self.store.get_result(key)
+            if not isinstance(cached, ExperimentResult):
+                continue
+            entry = result_entry(task.workload, task.config.name, cached)
+            job.entries[index] = entry
+            job.cells_cached += 1
+            self.registry.counter("service.cells_cached").inc()
+            job.publish(
+                CellResult(
+                    job_id=job.job_id,
+                    index=index,
+                    workload=task.workload,
+                    config=task.config.name,
+                    cached=True,
+                    seconds=0.0,
+                    entry=entry,
+                )
+            )
+
+    def _plan_batches(self, job: Job) -> list[list[tuple[int, MatrixTask]]]:
+        """Group unfinished cells by shared trace, chunked to max_batch."""
+        groups: dict[tuple, list[tuple[int, MatrixTask]]] = {}
+        for index, task in enumerate(job.cells):
+            if job.entries[index] is not None:
+                continue
+            groups.setdefault((task.workload, task.scale, task.seed), []).append(
+                (index, task)
+            )
+        batches = []
+        for cells in groups.values():
+            for start in range(0, len(cells), self.max_batch):
+                batch = cells[start : start + self.max_batch]
+                batches.append(batch)
+                self.registry.counter("service.batches").inc()
+                self.registry.histogram("service.batch_size").observe(len(batch))
+        return batches
+
+    async def _dispatch(
+        self, batch: list[tuple[int, MatrixTask]], pending: set[Future]
+    ) -> list[dict]:
+        """Run one batch on the pool, retrying once across a pool restart."""
+        label = f"{batch[0][1].workload}[{len(batch)}]"
+        for attempt in (1, 2):
+            generation = self.pool.generation
+            future = self.pool.submit_batch(batch)
+            pending.add(future)
+            try:
+                return await asyncio.wrap_future(future)
+            except BrokenProcessPool:
+                self.registry.counter("service.worker_crashes").inc()
+                await self._restart_pool(generation)
+                if attempt == 2:
+                    raise JobFailure(
+                        f"worker crashed twice running batch {label}"
+                    ) from None
+                self.registry.counter("service.retries").inc()
+                log.warning("batch %s lost to a worker crash; retrying", label)
+            finally:
+                pending.discard(future)
+        raise AssertionError("unreachable")
+
+    async def _restart_pool(self, generation: int) -> None:
+        """Restart the pool once per observed generation (idempotent)."""
+        async with self._restart_lock:
+            if self.pool.generation == generation:
+                self.registry.counter("service.worker_restarts").inc()
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self.pool.restart
+                )
+
+    # ------------------------------------------------------------ delivery
+
+    def _deliver(self, job: Job, output: dict) -> None:
+        index = output["index"]
+        if job.entries[index] is None:
+            if output["cached"]:
+                job.cells_cached += 1
+                self.registry.counter("service.cells_cached").inc()
+            else:
+                job.cells_computed += 1
+                self.registry.counter("service.cells_computed").inc()
+            self.registry.histogram("service.cell_seconds").observe(
+                output["seconds"]
+            )
+        job.entries[index] = output["entry"]
+        snapshot = output.get("snapshot")
+        if snapshot:
+            self.registry.merge(snapshot)
+        job.publish(
+            CellResult(
+                job_id=job.job_id,
+                index=index,
+                workload=output["workload"],
+                config=output["config"],
+                cached=output["cached"],
+                seconds=output["seconds"],
+                entry=output["entry"],
+            )
+        )
+
+    def _finish(self, job: Job, state: str, error: str | None = None) -> None:
+        job.state = state
+        job.error = error
+        job.finished_at = time.monotonic()
+        self.registry.counter(f"service.jobs_{state}").inc()
+        self.registry.histogram("service.job_service_seconds").observe(job.seconds)
+        job.publish(
+            JobDone(
+                job_id=job.job_id,
+                state=state,
+                cells_total=len(job.cells),
+                cells_cached=job.cells_cached,
+                cells_computed=job.cells_computed,
+                seconds=job.seconds,
+                error=error,
+            )
+        )

@@ -1,0 +1,415 @@
+"""Asyncio TCP front end: connections, request routing, lifecycle.
+
+``python -m repro.harness serve`` stands one of these up.  The server
+is a thin shell around three long-lived pieces — the bounded
+:class:`JobQueue`, the :class:`Scheduler`, and the warm
+:class:`WorkerPool` — plus the process-global metrics registry that the
+``health``/``metrics`` request types and the shutdown ledger report.
+
+Lifecycle: SIGTERM/SIGINT triggers a drain — new submits are rejected
+with a structured ``draining`` error, everything already admitted
+(queued and running) completes and streams out, the pool is shut down
+with every worker joined (no orphans), and only then does the listener
+close.  A drain that exceeds ``drain_timeout`` hard-stops the scheduler
+and fails the leftover jobs instead of hanging forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import signal
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.artifacts.runner import MatrixTask
+from repro.artifacts.store import ArtifactStore
+from repro.metrics import MetricsRegistry, get_registry
+from repro.service import jobs as jobstates
+from repro.service.jobs import Job, JobQueue, JobTable, QueueFullError
+from repro.service.pool import WorkerPool
+from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_DRAINING,
+    ERR_QUEUE_FULL,
+    ERR_UNKNOWN_JOB,
+    ERR_UNSUPPORTED_VERSION,
+    PRIORITIES,
+    CancelledResponse,
+    CancelRequest,
+    CellResult,
+    ErrorResponse,
+    HealthRequest,
+    HealthResponse,
+    JobDone,
+    MetricsRequest,
+    MetricsResponse,
+    ProtocolError,
+    ResultRequest,
+    ResultResponse,
+    StatusRequest,
+    StatusResponse,
+    SubmitRequest,
+    SubmittedResponse,
+    decode_request,
+    encode_message,
+)
+from repro.service.scheduler import Scheduler
+
+log = logging.getLogger("repro.service")
+
+DEFAULT_PORT = 9417
+
+#: Submit/result messages can carry dozens of ~1kB entries; raise the
+#: stream reader's line limit well above asyncio's 64 kB default.
+_LINE_LIMIT = 4 * 1024 * 1024
+
+
+@dataclass
+class ServiceConfig:
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    workers: int = 2
+    max_queue: int = 64
+    default_timeout: float | None = None  # per-job wall clock (None = off)
+    max_batch: int = 8
+    cache_dir: str | None = None
+    drain_timeout: float = 60.0
+
+
+class Service:
+    """One running batch-simulation service instance."""
+
+    def __init__(
+        self, config: ServiceConfig, registry: MetricsRegistry | None = None
+    ) -> None:
+        self.config = config
+        self.registry = registry if registry is not None else get_registry()
+        self.store = ArtifactStore(config.cache_dir)
+        self.queue = JobQueue(max_depth=config.max_queue)
+        self.table = JobTable()
+        self.pool = WorkerPool(config.workers, str(self.store.root))
+        self.scheduler = Scheduler(
+            self.queue,
+            self.pool,
+            self.store,
+            self.registry,
+            default_timeout=config.default_timeout,
+            max_batch=config.max_batch,
+        )
+        self.draining = False
+        self.started_at = time.monotonic()
+        self.port: int | None = None
+        self.worker_pids: list[int] = []
+        self._server: asyncio.base_events.Server | None = None
+        self._closed = asyncio.Event()
+        self._shutdown_task: asyncio.Task | None = None
+
+    # ----------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self.worker_pids = await loop.run_in_executor(None, self.pool.warm)
+        self.registry.gauge("service.workers").set(len(self.worker_pids))
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=_LINE_LIMIT,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info(
+            "listening on %s:%d (workers=%d, max-queue=%d)",
+            self.config.host, self.port, self.config.workers,
+            self.config.max_queue,
+        )
+
+    def request_shutdown(self) -> None:
+        """Signal-handler entry: start one drain-and-stop task."""
+        if self._shutdown_task is None:
+            self._shutdown_task = asyncio.get_running_loop().create_task(
+                self.shutdown()
+            )
+
+    async def shutdown(self) -> None:
+        self.draining = True
+        log.info(
+            "draining: %d queued, %d unfinished job(s)",
+            self.queue.depth, len(self.table.unfinished()),
+        )
+        self.scheduler.drain()
+        try:
+            await asyncio.wait_for(
+                self.scheduler.drained.wait(), self.config.drain_timeout
+            )
+        except asyncio.TimeoutError:
+            log.warning(
+                "drain timeout (%.0fs) expired; failing leftover jobs",
+                self.config.drain_timeout,
+            )
+            self.scheduler.stop()
+            for job in self.table.unfinished():
+                job.state = jobstates.FAILED
+                job.error = "service shut down before the job finished"
+                job.publish(
+                    JobDone(
+                        job_id=job.job_id,
+                        state=job.state,
+                        cells_total=len(job.cells),
+                        cells_cached=job.cells_cached,
+                        cells_computed=job.cells_computed,
+                        error=job.error,
+                    )
+                )
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.pool.shutdown)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._closed.set()
+        log.info("shutdown complete")
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    # --------------------------------------------------------- connections
+
+    async def _send(self, writer: asyncio.StreamWriter, message) -> None:
+        writer.write(encode_message(message))
+        await writer.drain()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = decode_request(line)
+                except ProtocolError as exc:
+                    await self._send(
+                        writer, ErrorResponse(code=exc.code, message=str(exc))
+                    )
+                    if exc.code == ERR_UNSUPPORTED_VERSION:
+                        break  # cannot trust anything else this peer sends
+                    continue
+                if isinstance(request, SubmitRequest):
+                    await self._handle_submit(request, writer)
+                elif isinstance(request, StatusRequest):
+                    await self._send(writer, self._status(request))
+                elif isinstance(request, ResultRequest):
+                    await self._send(writer, self._result(request))
+                elif isinstance(request, CancelRequest):
+                    await self._send(writer, self._cancel(request))
+                elif isinstance(request, HealthRequest):
+                    await self._send(writer, self._health())
+                elif isinstance(request, MetricsRequest):
+                    await self._send(writer, self._metrics())
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # silent-ok: client went away; its job (if any) continues
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # silent-ok: peer already tore the socket down
+
+    # -------------------------------------------------------------- submit
+
+    def _admit(self, request: SubmitRequest) -> Job | ErrorResponse:
+        if self.draining:
+            return ErrorResponse(
+                code=ERR_DRAINING, message="service is draining; resubmit later"
+            )
+        if not request.cells:
+            return ErrorResponse(
+                code=ERR_BAD_REQUEST, message="submit carries no cells"
+            )
+        if request.priority not in PRIORITIES:
+            return ErrorResponse(
+                code=ERR_BAD_REQUEST,
+                message=f"unknown priority {request.priority!r} "
+                f"(choose from {list(PRIORITIES)})",
+            )
+        try:
+            cells = [self._resolve_cell(spec) for spec in request.cells]
+        except (KeyError, ValueError) as exc:
+            return ErrorResponse(code=ERR_BAD_REQUEST, message=str(exc))
+        job = self.table.create(
+            client=request.client or "anonymous",
+            cells=cells,
+            priority=request.priority,
+            timeout=request.timeout,
+        )
+        try:
+            self.queue.push(job)
+        except QueueFullError as exc:
+            self.table.discard(job.job_id)
+            self.registry.counter("service.sheds").inc()
+            return ErrorResponse(
+                code=ERR_QUEUE_FULL,
+                message=str(exc),
+                queue_depth=exc.depth,
+            )
+        self.registry.counter("service.jobs_submitted").inc()
+        self.registry.gauge("service.queue_depth").set(self.queue.depth)
+        self.scheduler.wake()
+        return job
+
+    @staticmethod
+    def _resolve_cell(spec) -> MatrixTask:
+        from repro.harness.experiment import CONFIGS
+        from repro.workloads import get_workload
+
+        get_workload(spec.workload)  # raises KeyError with the known set
+        config = CONFIGS.get(spec.config)
+        if config is None:
+            raise ValueError(
+                f"unknown config {spec.config!r}; available: {sorted(CONFIGS)}"
+            )
+        return MatrixTask(
+            spec.workload, config, scale=spec.scale, seed=spec.seed
+        )
+
+    async def _handle_submit(
+        self, request: SubmitRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        admitted = self._admit(request)
+        if isinstance(admitted, ErrorResponse):
+            await self._send(writer, admitted)
+            return
+        job = admitted
+        stream: asyncio.Queue = asyncio.Queue()
+        job.subscribe(stream)
+        try:
+            await self._send(
+                writer,
+                SubmittedResponse(
+                    job_id=job.job_id,
+                    cells_total=len(job.cells),
+                    position=max(0, self.queue.position(job.job_id)),
+                ),
+            )
+            while True:
+                message = await stream.get()
+                await self._send(writer, message)
+                if isinstance(message, JobDone):
+                    break
+        finally:
+            job.unsubscribe(stream)
+
+    # ------------------------------------------------------------- queries
+
+    def _status(self, request: StatusRequest) -> StatusResponse | ErrorResponse:
+        job = self.table.get(request.job_id)
+        if job is None:
+            return ErrorResponse(
+                code=ERR_UNKNOWN_JOB,
+                message=f"unknown job {request.job_id!r}",
+                job_id=request.job_id,
+            )
+        return StatusResponse(
+            job_id=job.job_id,
+            state=job.state,
+            cells_total=len(job.cells),
+            cells_done=job.cells_done,
+            position=self.queue.position(job.job_id),
+        )
+
+    def _result(self, request: ResultRequest) -> ResultResponse | ErrorResponse:
+        job = self.table.get(request.job_id)
+        if job is None:
+            return ErrorResponse(
+                code=ERR_UNKNOWN_JOB,
+                message=f"unknown job {request.job_id!r}",
+                job_id=request.job_id,
+            )
+        return ResultResponse(
+            job_id=job.job_id, state=job.state, entries=list(job.entries)
+        )
+
+    def _cancel(self, request: CancelRequest) -> CancelledResponse | ErrorResponse:
+        job = self.table.get(request.job_id)
+        if job is None:
+            return ErrorResponse(
+                code=ERR_UNKNOWN_JOB,
+                message=f"unknown job {request.job_id!r}",
+                job_id=request.job_id,
+            )
+        if job.finished:
+            return CancelledResponse(job_id=job.job_id, state=job.state)
+        job.cancel_requested = True
+        if self.queue.remove(job.job_id) is not None:
+            # Still queued: cancellation completes right here.
+            job.state = jobstates.CANCELLED
+            job.finished_at = time.monotonic()
+            self.registry.counter("service.jobs_cancelled").inc()
+            self.registry.gauge("service.queue_depth").set(self.queue.depth)
+            job.publish(
+                JobDone(
+                    job_id=job.job_id,
+                    state=job.state,
+                    cells_total=len(job.cells),
+                    cells_cached=job.cells_cached,
+                    cells_computed=job.cells_computed,
+                )
+            )
+        # Running: the scheduler notices the flag between batch
+        # completions and finishes the job as cancelled.
+        return CancelledResponse(job_id=job.job_id, state=job.state)
+
+    def _health(self) -> HealthResponse:
+        return HealthResponse(
+            ok=True,
+            uptime_seconds=time.monotonic() - self.started_at,
+            queue_depth=self.queue.depth,
+            queue_capacity=self.queue.max_depth,
+            jobs_active=len(self.table.unfinished()),
+            jobs_completed=int(
+                self.registry.counter("service.jobs_done").value
+            ),
+            workers=self.config.workers,
+            draining=self.draining,
+        )
+
+    def _metrics(self) -> MetricsResponse:
+        snapshot = self.registry.snapshot()
+        return MetricsResponse(
+            counters=snapshot["counters"],
+            gauges=snapshot["gauges"],
+            histograms=snapshot["histograms"],
+        )
+
+
+async def serve_forever(
+    config: ServiceConfig, registry: MetricsRegistry | None = None
+) -> Service:
+    """Run a service until SIGTERM/SIGINT drains it; returns the service.
+
+    Startup prints the bound address and warm worker pids to stderr so
+    wrappers (tests, the CI smoke job) can target an ephemeral port and
+    assert worker hygiene after shutdown.
+    """
+    service = Service(config, registry=registry)
+    await service.start()
+    print(
+        f"[repro.service] listening on {config.host}:{service.port} "
+        f"(workers={config.workers}, max-queue={config.max_queue})",
+        file=sys.stderr,
+        flush=True,
+    )
+    print(
+        "[repro.service] worker pids: "
+        + " ".join(str(pid) for pid in service.worker_pids),
+        file=sys.stderr,
+        flush=True,
+    )
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, service.request_shutdown)
+    await service.wait_closed()
+    return service

@@ -183,6 +183,32 @@ def test_gc_evicts_lru_to_budget(store):
     assert store.get_result(keys[0]) is None
 
 
+def test_plan_gc_previews_without_deleting(store):
+    keys = [content_key("result", {"i": i}) for i in range(4)]
+    now = time.time()
+    for i, key in enumerate(keys):
+        store.put_result(key, b"x" * 4096, label=f"entry{i}")
+        path = store._entry_path("result", key)
+        os.utime(path, (now - 1000 + i, now - 1000 + i))
+
+    total = sum(e.size_bytes for e in store.entries())
+    budget = total - 1
+    plan = store.plan_gc(budget)
+    assert len(plan) >= 1
+    # Plan is LRU order and nothing was touched on disk.
+    assert plan[0].label == "entry0"
+    assert store.stats()["entries"] == 4
+    # Executing gc with the same budget evicts exactly the planned set.
+    removed, removed_bytes = store.gc(budget)
+    assert removed == len(plan)
+    assert removed_bytes == sum(e.size_bytes for e in plan)
+
+
+def test_plan_gc_empty_when_under_budget(store):
+    store.put_result(content_key("result", {"i": 0}), b"x" * 128)
+    assert store.plan_gc(10 * 1024 * 1024) == []
+
+
 def test_budget_applies_on_write(tmp_path):
     store = ArtifactStore(tmp_path, budget_bytes=1)  # everything over budget
     for i in range(3):

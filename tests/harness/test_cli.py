@@ -95,13 +95,60 @@ def test_cache_gc_requires_budget(tmp_path):
         cache_main(["gc", "--cache-dir", str(tmp_path)])
 
 
+def test_cache_gc_dry_run_deletes_nothing(capsys, tmp_path):
+    store = _populate(tmp_path)
+    assert cache_main(
+        ["gc", "--max-mb", "0", "--dry-run", "--cache-dir", str(tmp_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "would evict result" in out
+    assert "dry run: would evict 1 entries" in out
+    assert "B" in out and "old" in out  # bytes and age per entry
+    assert store.stats()["entries"] == 1  # nothing actually deleted
+
+
+def test_cache_gc_dry_run_empty_plan(capsys, tmp_path):
+    _populate(tmp_path)
+    assert cache_main(
+        ["gc", "--max-mb", "1024", "--dry-run", "--cache-dir", str(tmp_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "would evict 0 entries" in out
+
+
+def test_cache_gc_dry_run_matches_real_gc(capsys, tmp_path):
+    store = _populate(tmp_path)
+    plan = store.plan_gc(0)
+    removed, removed_bytes = store.gc(0)
+    assert removed == len(plan) == 1
+    assert removed_bytes == sum(e.size_bytes for e in plan)
+
+
 # ------------------------------------------------------------ entry ages
 
 
 def test_format_age_clamps_future_mtimes():
     assert _format_age(-120.0) == "<1s"
     assert _format_age(0.4) == "<1s"
-    assert _format_age(90.0) == "90s"
+    assert _format_age(42.0) == "42s"
+
+
+def test_format_age_tiers():
+    assert _format_age(90.0) == "1m 30s"
+    assert _format_age(3600.0) == "1h 0m"
+    assert _format_age(5432.0) == "1h 30m"
+    # Ages of a day or more render as `Nd Hh` instead of overflowing.
+    assert _format_age(86400.0) == "1d 0h"
+    assert _format_age(13 * 86400.0 + 5 * 3600.0) == "13d 5h"
+
+
+def test_cache_ls_renders_day_scale_ages(capsys, tmp_path):
+    store = _populate(tmp_path)
+    entry = next(store.entries())
+    old = time.time() - 3 * 86400 - 2 * 3600
+    os.utime(entry.path, (old, old))
+    assert cache_main(["ls", "--cache-dir", str(tmp_path)]) == 0
+    assert "3d 2h old" in capsys.readouterr().out
 
 
 def test_cache_ls_future_mtime_never_negative(capsys, tmp_path):
@@ -113,6 +160,58 @@ def test_cache_ls_future_mtime_never_negative(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "-" not in out.split("old")[0].split("B")[-1]
     assert "<1s old" in out
+
+
+# --------------------------------------------------------- submit parsing
+
+
+def _submit_args(**overrides):
+    from types import SimpleNamespace
+
+    defaults = dict(
+        experiment=None, workloads=None, configs=None, scale=None, seed=1
+    )
+    defaults.update(overrides)
+    return SimpleNamespace(**defaults)
+
+
+def test_submit_cells_named_experiments():
+    from repro.harness.cli import _submit_cells
+    from repro.harness.figures import PAPER_ORDER
+
+    fig6 = _submit_cells(_submit_args(experiment="fig6"))
+    assert len(fig6) == len(PAPER_ORDER) * 4
+    assert {c.config for c in fig6} == {"IC", "TC", "RP", "RPO"}
+    table3 = _submit_cells(_submit_args(experiment="table3"))
+    assert len(table3) == len(PAPER_ORDER) * 2
+    fig7 = _submit_cells(_submit_args(experiment="fig7"))
+    fig8 = _submit_cells(_submit_args(experiment="fig8"))
+    assert {c.workload for c in fig7} | {c.workload for c in fig8} == set(
+        PAPER_ORDER
+    )
+
+
+def test_submit_cells_explicit_lists_carry_scale_and_seed():
+    from repro.harness.cli import _submit_cells
+
+    cells = _submit_cells(
+        _submit_args(workloads="gzip,bzip2", configs="IC,RPO", scale=2, seed=7)
+    )
+    assert len(cells) == 4
+    assert all(c.scale == 2 and c.seed == 7 for c in cells)
+
+
+def test_submit_cells_misuse_rejected():
+    from repro.harness.cli import _submit_cells
+
+    with pytest.raises(SystemExit):
+        _submit_cells(_submit_args())  # neither experiment nor lists
+    with pytest.raises(SystemExit):
+        _submit_cells(
+            _submit_args(experiment="fig6", workloads="gzip", configs="IC")
+        )
+    with pytest.raises(SystemExit):
+        _submit_cells(_submit_args(workloads="gzip"))  # missing --configs
 
 
 # ------------------------------------------------------------ run ledger

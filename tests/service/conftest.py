@@ -1,0 +1,121 @@
+"""Shared fixtures: a service running on a background-thread event loop.
+
+The blocking :class:`repro.service.client.Client` needs a live server to
+talk to; pytest runs in the main thread, so the asyncio service runs on
+its own thread's event loop and tests drive it over real loopback
+sockets.  ``ServiceHarness`` optionally swaps the real process pool for
+a test-controlled fake so protocol/lifecycle tests stay subprocess-free.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.metrics import MetricsRegistry
+from repro.service.server import Service, ServiceConfig
+
+
+class ServiceHarness:
+    """Run one Service on a dedicated thread; stop it deterministically."""
+
+    def __init__(self, config: ServiceConfig, pool=None):
+        self.config = config
+        self.registry = MetricsRegistry()
+        self.service: Service | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._pool_override = pool
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    # --------------------------------------------------------------- thread
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self.loop = asyncio.get_running_loop()
+        self.service = Service(self.config, registry=self.registry)
+        if self._pool_override is not None:
+            self.service.pool = self._pool_override
+            self.service.scheduler.pool = self._pool_override
+        try:
+            await self.service.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            raise
+        self._ready.set()
+        await self.service.wait_closed()
+
+    # ------------------------------------------------------------------ api
+
+    def start(self) -> "ServiceHarness":
+        self._thread.start()
+        if not self._ready.wait(timeout=60):
+            raise TimeoutError("service did not start within 60s")
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") from self._startup_error
+        return self
+
+    @property
+    def port(self) -> int:
+        assert self.service is not None and self.service.port is not None
+        return self.service.port
+
+    def call(self, coroutine_or_fn, *args):
+        """Run a callable on the service loop thread; return its result."""
+        assert self.loop is not None
+        if asyncio.iscoroutine(coroutine_or_fn):
+            future = asyncio.run_coroutine_threadsafe(coroutine_or_fn, self.loop)
+        else:
+            future = asyncio.run_coroutine_threadsafe(
+                _as_coroutine(coroutine_or_fn, args), self.loop
+            )
+        return future.result(timeout=30)
+
+    def stop(self, timeout: float = 60):
+        """Drain and join; safe to call twice."""
+        if self.loop is not None and self._thread.is_alive():
+            self.loop.call_soon_threadsafe(self.service.request_shutdown)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("service thread did not shut down")
+
+
+async def _as_coroutine(fn, args):
+    return fn(*args)
+
+
+@pytest.fixture(scope="module")
+def real_service(tmp_path_factory):
+    """A module-scoped service with a real one-worker pool (slow start)."""
+    config = ServiceConfig(
+        port=0,
+        workers=1,
+        cache_dir=str(tmp_path_factory.mktemp("service-cache")),
+    )
+    harness = ServiceHarness(config).start()
+    yield harness
+    harness.stop()
+
+
+@pytest.fixture
+def harness_factory(tmp_path):
+    """Build ServiceHarness instances that always get torn down."""
+    harnesses = []
+
+    def build(pool=None, **config_kwargs):
+        config_kwargs.setdefault("port", 0)  # ephemeral
+        config_kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+        harness = ServiceHarness(ServiceConfig(**config_kwargs), pool=pool)
+        harnesses.append(harness)
+        return harness.start()
+
+    yield build
+    for harness in harnesses:
+        try:
+            harness.stop()
+        except TimeoutError:
+            pass  # silent-ok: teardown best-effort; the test already failed

@@ -1,0 +1,104 @@
+"""End-to-end loopback: real warm workers, real store, real sockets.
+
+The acceptance path for the service: a fig6 cell served over the wire
+is byte-identical to the serial CLI path's ledger entry, a warm
+resubmission is served from the artifact store without re-emulation
+(and is at least 5x faster), and the queue/batch metrics are visible in
+the ``metrics`` response.  One module-scoped service keeps the cost to
+a single pool warm-up.
+"""
+
+import json
+
+import pytest
+
+from repro.artifacts.runner import MatrixTask, compute_cell
+from repro.harness.experiment import CONFIGS
+from repro.metrics.ledger import result_entry
+from repro.service.client import Client
+from repro.service.protocol import CellSpec
+
+#: One fig6 row: gzip under (IC, TC) — two configs sharing one dynamic
+#: trace, so they land in one warm-worker batch.
+FIG6_CELLS = [CellSpec("gzip", "IC"), CellSpec("gzip", "TC")]
+
+
+@pytest.fixture(scope="module")
+def client(real_service):
+    return Client(port=real_service.port, timeout=120.0)
+
+
+@pytest.fixture(scope="module")
+def first_outcome(client):
+    """The cold submission every test in this module builds on."""
+    streamed = []
+    outcome = client.submit(FIG6_CELLS, on_cell=streamed.append)
+    outcome.streamed = streamed
+    return outcome
+
+
+def canonical(entry) -> bytes:
+    return json.dumps(entry, sort_keys=True).encode()
+
+
+def test_cold_submit_computes_and_streams(first_outcome):
+    assert first_outcome.ok, first_outcome.error
+    assert first_outcome.cells_computed == 2
+    assert first_outcome.cells_cached == 0
+    assert len(first_outcome.streamed) == 2
+    assert all(not cell.cached for cell in first_outcome.streamed)
+    for entry, spec in zip(first_outcome.entries, FIG6_CELLS):
+        assert entry["workload"] == spec.workload
+        assert entry["config"] == spec.config
+        assert entry["cycles"] > 0
+
+
+def test_served_cell_byte_identical_to_serial_path(first_outcome):
+    """The wire entry equals the serial CLI path's ledger entry, byte for
+    byte (same result_entry serialization on both sides)."""
+    for index, spec in enumerate(FIG6_CELLS):
+        task = MatrixTask(spec.workload, CONFIGS[spec.config])
+        result, _telemetry, _snapshot = compute_cell(task, store=None)
+        serial_entry = result_entry(spec.workload, spec.config, result)
+        assert canonical(first_outcome.entries[index]) == canonical(serial_entry)
+
+
+def test_warm_resubmit_is_cached_and_5x_faster(client, first_outcome):
+    streamed = []
+    warm = client.submit(FIG6_CELLS, on_cell=streamed.append)
+    assert warm.ok
+    assert warm.cells_cached == 2
+    assert warm.cells_computed == 0  # store hit: no re-emulation
+    assert all(cell.cached for cell in streamed)
+    assert [canonical(e) for e in warm.entries] == [
+        canonical(e) for e in first_outcome.entries
+    ]
+    assert warm.seconds * 5 <= first_outcome.seconds, (
+        f"warm {warm.seconds:.3f}s vs cold {first_outcome.seconds:.3f}s"
+    )
+
+
+def test_metrics_expose_queue_batch_and_cache_activity(client, first_outcome):
+    metrics = client.metrics()
+    counters = metrics.counters
+    assert counters["service.jobs_submitted"] >= 1
+    assert counters["service.jobs_done"] >= 1
+    assert counters["service.cells_computed"] >= 2
+    assert counters["service.batches"] >= 1
+    assert counters["service.timeouts"] == 0
+    assert counters["service.sheds"] == 0
+    batch_size = metrics.histograms["service.batch_size"]
+    assert batch_size["count"] >= 1
+    assert batch_size["max"] == 2  # both fig6 configs in one batch
+    assert metrics.histograms["service.job_service_seconds"]["count"] >= 1
+    assert metrics.gauges["service.workers"] == 1
+    # Worker-side simulator metrics merged into the service registry.
+    assert any(not name.startswith("service.") for name in counters)
+
+
+def test_health_reflects_served_work(client, first_outcome):
+    health = client.health()
+    assert health.ok
+    assert health.jobs_completed >= 1
+    assert health.queue_depth == 0
+    assert not health.draining

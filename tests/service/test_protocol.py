@@ -1,0 +1,163 @@
+"""Wire protocol: round-trips, version gating, malformed input."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    CancelledResponse,
+    CancelRequest,
+    CellResult,
+    CellSpec,
+    ErrorResponse,
+    HealthRequest,
+    HealthResponse,
+    JobDone,
+    MetricsRequest,
+    MetricsResponse,
+    ProtocolError,
+    REQUEST_TYPES,
+    RESPONSE_TYPES,
+    ResultRequest,
+    ResultResponse,
+    StatusRequest,
+    StatusResponse,
+    SubmitRequest,
+    SubmittedResponse,
+    decode_request,
+    decode_response,
+    encode_message,
+)
+
+REQUESTS = [
+    SubmitRequest(
+        cells=[CellSpec("gzip", "IC"), CellSpec("bzip2", "RPO", scale=2, seed=7)],
+        priority="interactive",
+        timeout=12.5,
+        client="host-123",
+    ),
+    StatusRequest(job_id="job-1"),
+    ResultRequest(job_id="job-2"),
+    CancelRequest(job_id="job-3"),
+    HealthRequest(),
+    MetricsRequest(),
+]
+
+RESPONSES = [
+    SubmittedResponse(job_id="job-1", cells_total=4, position=2),
+    CellResult(
+        job_id="job-1",
+        index=3,
+        workload="gzip",
+        config="IC",
+        cached=True,
+        seconds=0.25,
+        entry={"ipc_x86": 1.25, "cycles": 1000, "bins": {"busy": 7}},
+    ),
+    JobDone(
+        job_id="job-1", state="done", cells_total=4, cells_cached=2,
+        cells_computed=2, seconds=3.5, error=None,
+    ),
+    StatusResponse(job_id="job-1", state="running", cells_total=4, cells_done=1),
+    ResultResponse(job_id="job-1", state="done", entries=[{"a": 1}, None]),
+    CancelledResponse(job_id="job-1", state="cancelled"),
+    HealthResponse(
+        ok=True, uptime_seconds=9.5, queue_depth=3, queue_capacity=64,
+        jobs_active=1, jobs_completed=7, workers=2, draining=False,
+    ),
+    MetricsResponse(
+        counters={"service.jobs_done": 3},
+        gauges={"service.queue_depth": 1.0},
+        histograms={"service.batch_size": {"count": 2, "sum": 6.0, "min": 2, "max": 4}},
+    ),
+    ErrorResponse(code="queue_full", message="queue full", queue_depth=64),
+]
+
+
+@pytest.mark.parametrize("message", REQUESTS, ids=lambda m: m.TYPE)
+def test_request_round_trip(message):
+    assert decode_request(encode_message(message)) == message
+
+
+@pytest.mark.parametrize("message", RESPONSES, ids=lambda m: m.TYPE)
+def test_response_round_trip(message):
+    assert decode_response(encode_message(message)) == message
+
+
+def test_every_type_is_covered():
+    assert {m.TYPE for m in REQUESTS} == set(REQUEST_TYPES)
+    assert {m.TYPE for m in RESPONSES} == set(RESPONSE_TYPES)
+
+
+def test_entry_payload_survives_exactly():
+    entry = {"ipc_x86": 1.2345678901234567, "bins": {"busy": 10, "idle": 0}}
+    cell = CellResult(job_id="j", index=0, entry=entry)
+    decoded = decode_response(encode_message(cell))
+    assert json.dumps(decoded.entry, sort_keys=True) == json.dumps(
+        entry, sort_keys=True
+    )
+
+
+@pytest.mark.parametrize("version", [0, 2, 99, None, "1"])
+def test_unknown_version_rejected(version):
+    line = json.dumps({"v": version, "type": "health"})
+    with pytest.raises(ProtocolError) as exc_info:
+        decode_request(line)
+    assert exc_info.value.code == "unsupported_version"
+
+
+def test_missing_version_rejected():
+    with pytest.raises(ProtocolError) as exc_info:
+        decode_request(json.dumps({"type": "health"}))
+    assert exc_info.value.code == "unsupported_version"
+
+
+def test_unknown_type_rejected():
+    line = json.dumps({"v": PROTOCOL_VERSION, "type": "frobnicate"})
+    with pytest.raises(ProtocolError) as exc_info:
+        decode_request(line)
+    assert exc_info.value.code == "unknown_type"
+
+
+def test_request_types_not_valid_responses():
+    line = encode_message(HealthRequest())
+    decoded = decode_request(line)
+    assert isinstance(decoded, HealthRequest)
+    # 'health' is both a request and a response type name; the decoded
+    # classes must differ by direction.
+    assert not isinstance(decode_response(line), HealthRequest)
+
+
+def test_malformed_json_rejected():
+    with pytest.raises(ProtocolError) as exc_info:
+        decode_request(b"{not json}\n")
+    assert exc_info.value.code == "malformed"
+
+
+def test_non_object_rejected():
+    with pytest.raises(ProtocolError) as exc_info:
+        decode_request(b"[1, 2, 3]\n")
+    assert exc_info.value.code == "malformed"
+
+
+def test_bad_cell_spec_rejected():
+    line = json.dumps(
+        {"v": PROTOCOL_VERSION, "type": "submit", "cells": [{"bogus": 1}]}
+    )
+    with pytest.raises(ProtocolError) as exc_info:
+        decode_request(line)
+    assert exc_info.value.code == "malformed"
+
+
+def test_unknown_fields_ignored_within_version():
+    line = json.dumps(
+        {"v": PROTOCOL_VERSION, "type": "status", "job_id": "job-9",
+         "future_field": True}
+    )
+    assert decode_request(line) == StatusRequest(job_id="job-9")
+
+
+def test_decoded_cells_are_cellspecs():
+    decoded = decode_request(encode_message(REQUESTS[0]))
+    assert all(isinstance(cell, CellSpec) for cell in decoded.cells)

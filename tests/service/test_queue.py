@@ -1,0 +1,130 @@
+"""JobQueue: backpressure/shed, priority classes, per-client fairness."""
+
+import pytest
+
+from repro.service.jobs import Job, JobQueue, JobTable, QueueFullError
+
+
+def make_job(job_id, client="c1", priority="batch"):
+    return Job(job_id=job_id, client=client, cells=[], priority=priority)
+
+
+def test_fifo_within_one_client():
+    queue = JobQueue(max_depth=8)
+    for n in range(3):
+        queue.push(make_job(f"job-{n}"))
+    assert [queue.pop().job_id for _ in range(3)] == ["job-0", "job-1", "job-2"]
+    assert queue.pop() is None
+    assert queue.depth == 0
+
+
+def test_shed_at_bound():
+    queue = JobQueue(max_depth=2)
+    queue.push(make_job("job-1"))
+    queue.push(make_job("job-2"))
+    with pytest.raises(QueueFullError) as exc_info:
+        queue.push(make_job("job-3"))
+    assert exc_info.value.depth == 2
+    assert exc_info.value.max_depth == 2
+    # The shed job left no residue: admitted jobs drain in order.
+    assert queue.depth == 2
+    assert queue.pop().job_id == "job-1"
+
+
+def test_shed_ordering_under_concurrent_clients():
+    """With the queue full, every client's next push sheds — not just the
+    noisy one — and the jobs already admitted keep their fair order."""
+    queue = JobQueue(max_depth=4)
+    for n in range(3):
+        queue.push(make_job(f"noisy-{n}", client="noisy"))
+    queue.push(make_job("quiet-0", client="quiet"))
+    for client in ("noisy", "quiet", "late"):
+        with pytest.raises(QueueFullError):
+            queue.push(make_job("extra", client=client))
+    popped = [queue.pop().job_id for _ in range(4)]
+    # Round-robin: quiet's single job is served second, not last.
+    assert popped == ["noisy-0", "quiet-0", "noisy-1", "noisy-2"]
+
+
+def test_force_push_bypasses_bound():
+    queue = JobQueue(max_depth=1)
+    queue.push(make_job("job-1"))
+    queue.push(make_job("requeued"), force=True)  # timeout requeue path
+    assert queue.depth == 2
+
+
+def test_interactive_pops_before_batch():
+    queue = JobQueue(max_depth=8)
+    queue.push(make_job("batch-1", priority="batch"))
+    queue.push(make_job("batch-2", priority="batch"))
+    queue.push(make_job("live-1", priority="interactive"))
+    assert queue.pop().job_id == "live-1"
+    assert queue.pop().job_id == "batch-1"
+
+
+def test_unknown_priority_rejected():
+    queue = JobQueue(max_depth=8)
+    with pytest.raises(ValueError):
+        queue.push(make_job("job-1", priority="urgent"))
+
+
+def test_per_client_round_robin():
+    queue = JobQueue(max_depth=16)
+    for n in range(4):
+        queue.push(make_job(f"a-{n}", client="a"))
+    queue.push(make_job("b-0", client="b"))
+    queue.push(make_job("b-1", client="b"))
+    popped = [queue.pop().job_id for _ in range(6)]
+    assert popped == ["a-0", "b-0", "a-1", "b-1", "a-2", "a-3"]
+
+
+def test_remove_queued_job():
+    queue = JobQueue(max_depth=8)
+    queue.push(make_job("job-1"))
+    queue.push(make_job("job-2"))
+    removed = queue.remove("job-1")
+    assert removed is not None and removed.job_id == "job-1"
+    assert queue.remove("job-1") is None
+    assert queue.depth == 1
+    assert queue.pop().job_id == "job-2"
+
+
+def test_position_respects_priority_boundary():
+    queue = JobQueue(max_depth=8)
+    queue.push(make_job("batch-1", priority="batch"))
+    queue.push(make_job("live-1", priority="interactive"))
+    assert queue.position("live-1") < queue.position("batch-1")
+    assert queue.position("missing") == -1
+
+
+def test_empty_client_does_not_stall_rotation():
+    queue = JobQueue(max_depth=8)
+    queue.push(make_job("a-0", client="a"))
+    assert queue.pop().job_id == "a-0"
+    # Client "a" is now an empty entry in the rotation; a new client's
+    # job must still pop immediately.
+    queue.push(make_job("b-0", client="b"))
+    assert queue.pop().job_id == "b-0"
+
+
+def test_job_table_ids_and_discard():
+    table = JobTable()
+    job1 = table.create("c1", [])
+    job2 = table.create("c2", [])
+    assert job1.job_id != job2.job_id
+    assert table.get(job1.job_id) is job1
+    assert len(table.unfinished()) == 2
+    table.discard(job1.job_id)
+    assert table.get(job1.job_id) is None
+    assert len(table) == 1
+
+
+def test_reset_for_requeue_keeps_finished_entries():
+    job = Job(job_id="j", client="c", cells=[None, None], state="running")
+    job.entries[0] = {"done": True}
+    job.started_at = 1.0
+    job.reset_for_requeue()
+    assert job.state == "queued"
+    assert job.started_at == 0.0
+    assert job.entries == [{"done": True}, None]
+    assert job.cells_done == 1

@@ -1,0 +1,320 @@
+"""Scheduler behaviour against a controllable fake worker pool.
+
+Every scenario runs on a real asyncio loop (via ``asyncio.run`` — no
+pytest-asyncio in this environment) with a :class:`FakePool` whose
+futures the test resolves, never resolves, or seeds with
+:class:`BrokenProcessPool`, exercising batching, the store
+short-circuit, timeout-requeue, the restart-on-runaway-worker path, and
+crash-retry without spawning a single subprocess.
+"""
+
+import asyncio
+from collections import Counter as TallyCounter
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.artifacts.runner import MatrixTask, result_key
+from repro.artifacts.store import ArtifactStore
+from repro.harness.experiment import CONFIGS, ExperimentResult
+from repro.metrics import MetricsRegistry
+from repro.metrics.ledger import result_entry
+from repro.service.jobs import Job, JobQueue
+from repro.service.protocol import CellResult, JobDone
+from repro.service.scheduler import Scheduler
+from repro.timing.pipeline import SimResult
+
+
+@dataclass(frozen=True)
+class FakeConfig:
+    name: str
+
+
+def make_task(workload="gzip", config="IC", scale=None, seed=1):
+    return MatrixTask(
+        workload=workload, config=FakeConfig(config), scale=scale, seed=seed
+    )
+
+
+def fake_output(index, task, cached=False, seconds=0.01):
+    return {
+        "index": index,
+        "workload": task.workload,
+        "config": task.config.name,
+        "entry": {"workload": task.workload, "config": task.config.name},
+        "cached": cached,
+        "emulated": not cached,
+        "seconds": seconds,
+        "pid": 12345,
+        "snapshot": None,
+    }
+
+
+class FakePool:
+    """Pool double: records batches, lets the test script each future."""
+
+    def __init__(self, script=None):
+        self.batches = []
+        self.generation = 1
+        self.restart_count = 0
+        #: Callables applied per submit (in order); the last one repeats.
+        self.script = list(script or [])
+
+    def submit_batch(self, batch):
+        self.batches.append(batch)
+        future = Future()
+        if self.script:
+            behave = self.script.pop(0) if len(self.script) > 1 else self.script[0]
+            behave(future, batch)
+        return future
+
+    def restart(self):
+        self.restart_count += 1
+        self.generation += 1
+
+
+def resolve_ok(future, batch):
+    future.set_result([fake_output(index, task) for index, task in batch])
+
+
+def resolve_crash(future, batch):
+    future.set_exception(BrokenProcessPool("a worker died"))
+
+
+def never_resolve(future, batch):
+    pass
+
+
+def resolve_running(future, batch):
+    # Mark the future as already executing: Future.cancel() will return
+    # False, which is how the scheduler detects runaway in-worker work.
+    future.set_running_or_notify_cancel()
+
+
+async def run_job(scheduler, queue, job, wait=10.0):
+    """Push one job, run the scheduler until the job's JobDone arrives."""
+    watcher = asyncio.Queue()
+    job.subscribe(watcher)
+    scheduler.start()
+    queue.push(job)
+    scheduler.wake()
+
+    async def _until_done():
+        while True:
+            message = await watcher.get()
+            if isinstance(message, JobDone):
+                return message
+
+    final = await asyncio.wait_for(_until_done(), wait)
+    scheduler.drain()
+    scheduler.wake()
+    await asyncio.wait_for(scheduler.drained.wait(), wait)
+    return final
+
+
+def make_scheduler(pool, store=None, registry=None, **kwargs):
+    registry = registry or MetricsRegistry()
+    queue = JobQueue(max_depth=8)
+    scheduler = Scheduler(queue, pool, store, registry, **kwargs)
+    return scheduler, queue, registry
+
+
+def test_batching_groups_by_trace_and_chunks():
+    pool = FakePool(script=[resolve_ok])
+    scheduler, queue, registry = make_scheduler(pool, max_batch=2)
+    cells = [
+        make_task("gzip", "IC"),
+        make_task("gzip", "TC"),
+        make_task("gzip", "RP"),  # 3rd gzip cell: forces a second chunk
+        make_task("bzip2", "IC"),
+        make_task("gzip", "IC", scale=2),  # different trace, own batch
+    ]
+    job = Job(job_id="j1", client="c", cells=cells)
+
+    final = asyncio.run(run_job(scheduler, queue, job))
+
+    assert final.state == "done"
+    assert job.cells_computed == 5
+    shapes = TallyCounter(
+        (batch[0][1].workload, batch[0][1].scale, len(batch))
+        for batch in pool.batches
+    )
+    assert shapes == TallyCounter(
+        {
+            ("gzip", None, 2): 1,
+            ("gzip", None, 1): 1,
+            ("bzip2", None, 1): 1,
+            ("gzip", 2, 1): 1,
+        }
+    )
+    assert registry.counter("service.batches").value == 4
+    histogram = registry.histogram("service.batch_size")
+    assert histogram.count == 4
+    assert histogram.total == 5
+
+
+def test_store_hits_never_touch_the_pool(tmp_path):
+    store = ArtifactStore(tmp_path / "cache")
+    config = CONFIGS["IC"]
+    result = ExperimentResult(
+        config_name="IC",
+        workload="gzip",
+        sim=SimResult(cycles=1000, x86_retired=1500),
+    )
+    key = result_key("gzip", config, None, 1)
+    store.put_result(key, result, label="gzip/IC")
+
+    pool = FakePool(script=[resolve_ok])
+    scheduler, queue, registry = make_scheduler(pool, store=store)
+    job = Job(
+        job_id="j1",
+        client="c",
+        cells=[MatrixTask(workload="gzip", config=config)],
+    )
+    streamed = []
+
+    async def scenario():
+        watcher = asyncio.Queue()
+        job.subscribe(watcher)
+        final = await run_job(scheduler, queue, job)
+        while not watcher.empty():
+            streamed.append(watcher.get_nowait())
+        return final
+
+    final = asyncio.run(scenario())
+
+    assert final.state == "done"
+    assert pool.batches == []  # served entirely from the store
+    assert job.cells_cached == 1 and job.cells_computed == 0
+    assert registry.counter("service.cells_cached").value == 1
+    cell = next(m for m in streamed if isinstance(m, CellResult))
+    assert cell.cached is True
+    assert cell.entry == result_entry("gzip", "IC", result)
+
+
+def test_timeout_requeues_once_then_fails():
+    pool = FakePool(script=[never_resolve])
+    scheduler, queue, registry = make_scheduler(pool)
+    job = Job(job_id="j1", client="c", cells=[make_task()], timeout=0.05)
+
+    final = asyncio.run(run_job(scheduler, queue, job))
+
+    assert final.state == "timeout"
+    assert "timed out after" in final.error
+    assert job.retries == 1
+    assert registry.counter("service.timeouts").value == 2
+    assert registry.counter("service.requeues").value == 1
+    assert registry.counter("service.jobs_timeout").value == 1
+    # Pending (never-started) pool work is revoked by cancel(), so no
+    # pool restart was needed.
+    assert pool.restart_count == 0
+    timeout_events = [e for e in registry.events if e[1] == "job_timeout"]
+    assert len(timeout_events) == 2
+
+
+def test_timeout_keeps_finished_entries_across_requeue():
+    def resolve_gzip_only(future, batch):
+        # gzip batch completes instantly; bzip2 batch hangs forever.
+        if batch[0][1].workload == "gzip":
+            resolve_ok(future, batch)
+
+    pool = FakePool(script=[resolve_gzip_only])
+    scheduler, queue, registry = make_scheduler(pool)
+    job = Job(
+        job_id="j1",
+        client="c",
+        cells=[make_task("gzip", "IC"), make_task("bzip2", "IC")],
+        timeout=0.2,
+    )
+
+    final = asyncio.run(run_job(scheduler, queue, job))
+
+    assert final.state == "timeout"
+    assert job.entries[0] is not None  # gzip survived the requeue
+    assert job.entries[1] is None
+    # The retry only re-dispatched the unfinished bzip2 cell.
+    assert len(pool.batches) == 3
+    retry_batch = pool.batches[2]
+    assert [task.workload for _, task in retry_batch] == ["bzip2"]
+
+
+def test_timeout_with_running_worker_restarts_pool():
+    pool = FakePool(script=[resolve_running])
+    scheduler, queue, registry = make_scheduler(pool)
+    job = Job(job_id="j1", client="c", cells=[make_task()], timeout=0.05)
+
+    final = asyncio.run(run_job(scheduler, queue, job))
+
+    assert final.state == "timeout"
+    # Both expiries found a worker mid-cell; each restarted the pool.
+    assert pool.restart_count == 2
+    assert registry.counter("service.worker_restarts").value == 2
+
+
+def test_crash_retries_batch_once_then_succeeds():
+    pool = FakePool(script=[resolve_crash, resolve_ok])
+    scheduler, queue, registry = make_scheduler(pool)
+    job = Job(job_id="j1", client="c", cells=[make_task()])
+
+    final = asyncio.run(run_job(scheduler, queue, job))
+
+    assert final.state == "done"
+    assert len(pool.batches) == 2
+    assert pool.restart_count == 1
+    assert registry.counter("service.worker_crashes").value == 1
+    assert registry.counter("service.retries").value == 1
+    assert registry.counter("service.jobs_done").value == 1
+
+
+def test_crash_twice_fails_job_but_not_service():
+    pool = FakePool(script=[resolve_crash])
+    scheduler, queue, registry = make_scheduler(pool)
+    job = Job(job_id="j1", client="c", cells=[make_task()])
+
+    final = asyncio.run(run_job(scheduler, queue, job))
+
+    assert final.state == "failed"
+    assert "crashed twice" in final.error
+    assert registry.counter("service.worker_crashes").value == 2
+    assert registry.counter("service.jobs_failed").value == 1
+
+
+def test_cell_bug_fails_job_without_retry():
+    def resolve_bug(future, batch):
+        future.set_exception(ValueError("no such workload: nope"))
+
+    pool = FakePool(script=[resolve_bug])
+    scheduler, queue, registry = make_scheduler(pool)
+    job = Job(job_id="j1", client="c", cells=[make_task("nope")])
+
+    final = asyncio.run(run_job(scheduler, queue, job))
+
+    assert final.state == "failed"
+    assert "no such workload" in final.error
+    assert len(pool.batches) == 1  # never retried
+    assert pool.restart_count == 0
+
+
+def test_cancel_queued_job_never_runs():
+    pool = FakePool(script=[resolve_ok])
+    scheduler, queue, registry = make_scheduler(pool)
+    job = Job(job_id="j1", client="c", cells=[make_task()])
+    job.cancel_requested = True
+
+    final = asyncio.run(run_job(scheduler, queue, job))
+
+    assert final.state == "cancelled"
+    assert pool.batches == []
+    assert registry.counter("service.jobs_cancelled").value == 1
+
+
+def test_queue_depth_gauge_tracks_pops():
+    pool = FakePool(script=[resolve_ok])
+    scheduler, queue, registry = make_scheduler(pool)
+    job = Job(job_id="j1", client="c", cells=[make_task()])
+
+    asyncio.run(run_job(scheduler, queue, job))
+
+    assert registry.gauge("service.queue_depth").value == 0
+    assert registry.histogram("service.job_wait_seconds").count >= 1
+    assert registry.histogram("service.job_service_seconds").count == 1

@@ -1,0 +1,306 @@
+"""Server front end over real loopback sockets, with a fake pool.
+
+Covers admission control (shed, draining, bad requests), the query
+request types, cancellation, streaming order, and the drain lifecycle —
+all without spawning worker subprocesses (the real-pool end-to-end path
+lives in test_loopback.py).
+"""
+
+import os
+import threading
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro.service.client import Client, ServiceError
+from repro.service.protocol import CellSpec
+
+
+def fake_output(index, task, cached=False, seconds=0.01):
+    return {
+        "index": index,
+        "workload": task.workload,
+        "config": task.config.name,
+        "entry": {"workload": task.workload, "config": task.config.name},
+        "cached": cached,
+        "emulated": not cached,
+        "seconds": seconds,
+        "pid": os.getpid(),
+        "snapshot": None,
+    }
+
+
+class ThreadedFakePool:
+    """Scheduler-facing pool double that also satisfies Service lifecycle.
+
+    By default every batch resolves immediately; with ``gated=True``
+    batches park until the test calls :meth:`release`.
+    """
+
+    def __init__(self, gated=False):
+        self.gated = gated
+        self.batches = []
+        self.parked = []
+        self.generation = 1
+        self.restart_count = 0
+        self._lock = threading.Lock()
+
+    # Service lifecycle surface
+    def warm(self):
+        return [os.getpid()]
+
+    def shutdown(self, wait=True):
+        self.release()
+
+    def worker_pids(self):
+        return [os.getpid()]
+
+    # Scheduler surface
+    def submit_batch(self, batch):
+        future = Future()
+        with self._lock:
+            self.batches.append(batch)
+            if self.gated:
+                self.parked.append((future, batch))
+                return future
+        future.set_result([fake_output(i, task) for i, task in batch])
+        return future
+
+    def release(self):
+        with self._lock:
+            parked, self.parked = self.parked, []
+        for future, batch in parked:
+            if not future.done():
+                future.set_result([fake_output(i, task) for i, task in batch])
+
+    def restart(self):
+        self.restart_count += 1
+        self.generation += 1
+
+
+def make_client(harness, **kwargs):
+    return Client(port=harness.port, timeout=10.0, **kwargs)
+
+
+def cells(n=1):
+    configs = ["IC", "TC", "RP", "RPO"]
+    return [CellSpec("gzip", configs[i % len(configs)]) for i in range(n)]
+
+
+def test_health_and_initial_metrics(harness_factory):
+    harness = harness_factory(pool=ThreadedFakePool(), workers=3, max_queue=7)
+    client = make_client(harness)
+
+    health = client.health()
+    assert health.ok is True
+    assert health.queue_depth == 0
+    assert health.queue_capacity == 7
+    assert health.workers == 3
+    assert health.draining is False
+    assert health.jobs_active == 0
+
+    metrics = client.metrics()
+    # Every service counter is visible (at zero) before any job runs.
+    for name in (
+        "service.jobs_submitted",
+        "service.jobs_done",
+        "service.sheds",
+        "service.timeouts",
+        "service.requeues",
+        "service.retries",
+        "service.worker_crashes",
+        "service.cells_cached",
+        "service.cells_computed",
+        "service.batches",
+    ):
+        assert metrics.counters.get(name) == 0, name
+
+
+def test_submit_streams_and_queries_resolve(harness_factory):
+    harness = harness_factory(pool=ThreadedFakePool())
+    client = make_client(harness)
+
+    seen = []
+    outcome = client.submit(cells(3), on_cell=seen.append)
+
+    assert outcome.ok and outcome.state == "done"
+    assert outcome.cells_computed == 3
+    assert len(outcome.entries) == 3 and all(outcome.entries)
+    assert sorted(c.index for c in seen) == [0, 1, 2]
+    assert all(c.cached is False for c in seen)
+
+    status = client.status(outcome.job_id)
+    assert status.state == "done" and status.cells_done == 3
+    result = client.result(outcome.job_id)
+    assert result.entries == outcome.entries
+
+    metrics = client.metrics()
+    assert metrics.counters["service.jobs_submitted"] == 1
+    assert metrics.counters["service.jobs_done"] == 1
+    assert metrics.counters["service.cells_computed"] == 3
+    assert metrics.histograms["service.batch_size"]["count"] >= 1
+    assert metrics.histograms["service.job_wait_seconds"]["count"] == 1
+
+
+def test_queue_full_sheds_with_structured_error(harness_factory):
+    harness = harness_factory(pool=ThreadedFakePool(), max_queue=0)
+    client = make_client(harness)
+
+    with pytest.raises(ServiceError) as exc_info:
+        client.submit(cells(1))
+    assert exc_info.value.code == "queue_full"
+    assert exc_info.value.queue_depth == 0
+
+    metrics = client.metrics()
+    assert metrics.counters["service.sheds"] == 1
+    assert metrics.counters["service.jobs_submitted"] == 0
+    # The shed job left no residue in the table.
+    health = client.health()
+    assert health.jobs_active == 0
+
+
+def test_shed_hits_latecomer_while_earlier_jobs_survive(harness_factory):
+    pool = ThreadedFakePool(gated=True)
+    harness = harness_factory(pool=pool, max_queue=1)
+    results = {}
+
+    def submit(name):
+        try:
+            results[name] = make_client(harness, client_id=name).submit(cells(1))
+        except ServiceError as exc:
+            results[name] = exc
+
+    # First job occupies the scheduler (gated pool); second fills the
+    # queue; third must shed.
+    t1 = threading.Thread(target=submit, args=("first",))
+    t1.start()
+    deadline = time.time() + 10
+    while not pool.batches and time.time() < deadline:
+        time.sleep(0.01)
+    assert pool.batches, "first job never reached the pool"
+
+    t2 = threading.Thread(target=submit, args=("second",))
+    t2.start()
+    deadline = time.time() + 10
+    client = make_client(harness, client_id="probe")
+    while client.health().queue_depth < 1 and time.time() < deadline:
+        time.sleep(0.01)
+
+    submit("third")  # synchronous: queue is full, shed now
+    assert isinstance(results["third"], ServiceError)
+    assert results["third"].code == "queue_full"
+
+    pool.release()
+    t1.join(timeout=10)
+    # Release any batch the scheduler dispatched after the first release.
+    deadline = time.time() + 10
+    while "second" not in results and time.time() < deadline:
+        pool.release()
+        time.sleep(0.01)
+    t2.join(timeout=10)
+    assert results["first"].ok
+    assert results["second"].ok
+
+
+def test_bad_requests_rejected(harness_factory):
+    harness = harness_factory(pool=ThreadedFakePool())
+    client = make_client(harness)
+
+    with pytest.raises(ServiceError) as exc_info:
+        client.submit([])
+    assert exc_info.value.code == "bad_request"
+
+    with pytest.raises(ServiceError) as exc_info:
+        client.submit([CellSpec("not-a-workload", "IC")])
+    assert exc_info.value.code == "bad_request"
+
+    with pytest.raises(ServiceError) as exc_info:
+        client.submit([CellSpec("gzip", "NOT-A-CONFIG")])
+    assert exc_info.value.code == "bad_request"
+    assert "unknown config" in str(exc_info.value)
+
+    with pytest.raises(ServiceError) as exc_info:
+        client.submit(cells(1), priority="urgent")
+    assert exc_info.value.code == "bad_request"
+
+    # None of those were admitted.
+    assert client.metrics().counters["service.jobs_submitted"] == 0
+
+
+def test_unknown_job_queries(harness_factory):
+    harness = harness_factory(pool=ThreadedFakePool())
+    client = make_client(harness)
+    for method in (client.status, client.result, client.cancel):
+        with pytest.raises(ServiceError) as exc_info:
+            method("job-404")
+        assert exc_info.value.code == "unknown_job"
+
+
+def test_cancel_queued_job_over_socket(harness_factory):
+    pool = ThreadedFakePool(gated=True)
+    harness = harness_factory(pool=pool, max_queue=4)
+    outcomes = {}
+
+    def submit(name):
+        outcomes[name] = make_client(harness, client_id=name).submit(cells(1))
+
+    t1 = threading.Thread(target=submit, args=("running",))
+    t1.start()
+    deadline = time.time() + 10
+    while not pool.batches and time.time() < deadline:
+        time.sleep(0.01)
+
+    t2 = threading.Thread(target=submit, args=("queued",))
+    t2.start()
+    client = make_client(harness, client_id="control")
+    deadline = time.time() + 10
+    while client.health().queue_depth < 1 and time.time() < deadline:
+        time.sleep(0.01)
+
+    # The queued job is job-2 (ids are sequential per service process).
+    cancelled = client.cancel("job-2")
+    assert cancelled.state == "cancelled"
+    t2.join(timeout=10)
+    assert outcomes["queued"].state == "cancelled"
+
+    pool.release()
+    t1.join(timeout=10)
+    assert outcomes["running"].ok
+    assert client.metrics().counters["service.jobs_cancelled"] == 1
+    # Only the running job's batch ever reached the pool.
+    assert len(pool.batches) == 1
+
+
+def test_drain_rejects_new_submits_and_finishes_admitted(harness_factory):
+    pool = ThreadedFakePool(gated=True)
+    harness = harness_factory(pool=pool)
+    outcomes = {}
+
+    def submit(name):
+        outcomes[name] = make_client(harness, client_id=name).submit(cells(2))
+
+    t1 = threading.Thread(target=submit, args=("admitted",))
+    t1.start()
+    deadline = time.time() + 10
+    while not pool.batches and time.time() < deadline:
+        time.sleep(0.01)
+
+    client = make_client(harness)
+    harness.loop.call_soon_threadsafe(harness.service.request_shutdown)
+    deadline = time.time() + 10
+    while not harness.service.draining and time.time() < deadline:
+        time.sleep(0.01)
+
+    with pytest.raises(ServiceError) as exc_info:
+        client.submit(cells(1))
+    assert exc_info.value.code == "draining"
+
+    pool.release()
+    t1.join(timeout=10)
+    assert outcomes["admitted"].ok  # admitted work completed during drain
+    harness.stop()
+    # Listener is closed after drain: new connections fail outright.
+    with pytest.raises(ServiceError) as exc_info:
+        make_client(harness).health()
+    assert exc_info.value.code == "unreachable"
