@@ -1,0 +1,64 @@
+"""Scenario subsystem throughput: family generation and trace import.
+
+Two rates size real scenario sweeps: how fast family members expand
+from specs into built traces (generation gates cold matrix runs), and
+how fast the importer moves external traces across the interchange
+boundary (decode + strict validation + canonical re-encode).  With
+``--json PATH`` both land in a BENCH_* summary for EXPERIMENTS.md.
+"""
+
+import pathlib
+import tempfile
+
+from repro.artifacts.codec import dump_trace_binary
+from repro.scenarios.families import expand_spec
+from repro.scenarios.importer import import_trace
+from repro.scenarios.spec import FamilySpec
+from repro.workloads.base import build_workload
+
+_GEN_SPECS = [
+    FamilySpec(family="loopy", seed=11, count=8),
+    FamilySpec(family="branchy", seed=11, count=8),
+    FamilySpec(family="redund", seed=11, count=8),
+]
+
+
+def _generate() -> int:
+    records = 0
+    for spec in _GEN_SPECS:
+        for workload in expand_spec(spec):
+            program = workload.build(1, 1)
+            records += len(program.instructions)
+    return records
+
+
+def test_bench_family_generation(benchmark, bench_records):
+    instructions = benchmark.pedantic(_generate, rounds=3, iterations=1)
+    members = sum(spec.count for spec in _GEN_SPECS)
+    assert instructions > 0
+    seconds = benchmark.stats.stats.mean
+    bench_records["scenarios_generation"] = {
+        "families": len(_GEN_SPECS),
+        "members": members,
+        "static_instructions": instructions,
+        "members_per_sec": round(members / seconds, 1),
+    }
+
+
+def test_bench_import_throughput(benchmark, bench_records):
+    trace = build_workload("gzip")
+    with tempfile.TemporaryDirectory() as tmp:
+        source = pathlib.Path(tmp) / "gzip.rutb"
+        dump_trace_binary(trace, str(source))
+
+        def _import():
+            return import_trace(source, root=tmp)
+
+        report = benchmark.pedantic(_import, rounds=3, iterations=1)
+    assert report.records == len(trace)
+    seconds = benchmark.stats.stats.mean
+    bench_records["scenarios_import"] = {
+        "records": report.records,
+        "records_per_sec": round(report.records / seconds, 1),
+        "digest": report.digest,
+    }

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import gzip
 import struct
+import zlib
 
 from repro.trace.record import MemOp, TraceRecord
 from repro.trace.stream import DynamicTrace
@@ -209,48 +210,72 @@ def encode_trace(trace: DynamicTrace) -> bytes:
             w.u8(0)
         else:
             w.u8(2 if record.branch_taken else 1)
-    return gzip.compress(w.getvalue(), compresslevel=_GZIP_LEVEL)
+    # mtime=0 keeps the gzip header time-free: equal traces encode to
+    # equal bytes, so content digests of encoded traces are stable.
+    return gzip.compress(w.getvalue(), compresslevel=_GZIP_LEVEL, mtime=0)
 
 
 # --------------------------------------------------------------- decoding
 
 
 def decode_trace(data: bytes, filename: str | None = None) -> DynamicTrace:
-    """Deserialize bytes produced by :func:`encode_trace`."""
+    """Deserialize bytes produced by :func:`encode_trace`.
+
+    Every failure mode raises :class:`TraceFileError` (or its subclass
+    :class:`TraceVersionError`, which names the file and both versions) —
+    never a bare ``struct.error``, ``ValueError``, or decode exception —
+    so the artifact store and the importer can treat any bad payload as
+    a structured miss/rejection.
+    """
+    where = filename or "<bytes>"
     try:
         raw = gzip.decompress(data)
-    except (OSError, EOFError) as exc:
-        raise TraceFileError(f"bad gzip payload: {exc}") from exc
+    except (OSError, EOFError, zlib.error) as exc:
+        raise TraceFileError(f"{where}: bad gzip payload: {exc}") from exc
     r = _Reader(raw)
+    if len(raw) < _HEAD.size:
+        raise TraceFileError(f"{where}: binary trace truncated (no header)")
     magic, version = _HEAD.unpack(r.take(_HEAD.size))
     if magic != MAGIC:
-        raise TraceFileError("not a binary trace (bad magic)")
+        raise TraceFileError(f"{where}: not a binary trace (bad magic)")
     if version != CODEC_VERSION:
         raise TraceVersionError(version, CODEC_VERSION, filename)
-    name = r.string()
 
     instructions: dict[int, Instruction] = {}
-    for _ in range(r.u32()):
-        address = r.i64()
-        length = r.u16()
-        mnemonic = Mnemonic(r.string())
-        cond_text = r.string()
-        cond = Cond(cond_text) if cond_text else None
-        operands = tuple(_unpack_operand(r) for _ in range(r.u8()))
-        targets = {}
-        for _ in range(r.u8()):
-            target_name = r.string()
-            targets[target_name] = r.i64()
-        instr = Instruction(mnemonic=mnemonic, operands=operands, cond=cond)
-        instr.address = address
-        instr.length = length
-        instr.label_targets = targets
-        instructions[address] = instr
+    try:
+        name = r.string()
+        for _ in range(r.u32()):
+            address = r.i64()
+            length = r.u16()
+            mnemonic = Mnemonic(r.string())
+            cond_text = r.string()
+            cond = Cond(cond_text) if cond_text else None
+            operands = tuple(_unpack_operand(r) for _ in range(r.u8()))
+            targets = {}
+            for _ in range(r.u8()):
+                target_name = r.string()
+                targets[target_name] = r.i64()
+            instr = Instruction(mnemonic=mnemonic, operands=operands, cond=cond)
+            instr.address = address
+            instr.length = length
+            instr.label_targets = targets
+            instructions[address] = instr
+    except TraceFileError as exc:
+        raise TraceFileError(f"{where}: {exc}") from exc
+    except (ValueError, UnicodeDecodeError, struct.error) as exc:
+        # Unknown mnemonic/cond/register/operand tag or mangled string
+        # bytes: corrupt content, not a stale version.
+        raise TraceFileError(
+            f"{where}: corrupt instruction table: {type(exc).__name__}: {exc}"
+        ) from exc
 
     # The record loop is the hot path for warm cache reads: unpack
     # directly from the buffer with a local offset instead of going
     # through _Reader's per-field method calls.
-    record_count = r.u32()
+    try:
+        record_count = r.u32()
+    except TraceFileError as exc:
+        raise TraceFileError(f"{where}: {exc}") from exc
     pos = r.pos
     end = len(raw)
     rec_head_unpack = _REC_HEAD.unpack_from
@@ -301,12 +326,16 @@ def decode_trace(data: bytes, filename: str | None = None) -> DynamicTrace:
                     branch_taken=branch_taken,
                 )
             )
-    except (struct.error, IndexError) as exc:
-        raise TraceFileError(f"binary trace truncated: {exc}") from exc
+    except (struct.error, IndexError, ValueError) as exc:
+        raise TraceFileError(f"{where}: binary trace truncated: {exc}") from exc
     except KeyError as exc:
-        raise TraceFileError(f"record references unknown pc {exc}") from None
+        raise TraceFileError(
+            f"{where}: record references unknown pc {exc}"
+        ) from None
     if pos != end:
-        raise TraceFileError(f"binary trace has {end - pos} trailing bytes")
+        raise TraceFileError(
+            f"{where}: binary trace has {end - pos} trailing bytes"
+        )
     return DynamicTrace(records, name=name)
 
 

@@ -16,7 +16,11 @@ Usage::
     python -m repro.harness cache clear
     python -m repro.harness serve --port 9417 --workers 4   # batch service
     python -m repro.harness submit fig6 --port 9417         # job -> service
-    python -m repro.harness submit --workloads gzip --configs IC,TC
+    python -m repro.harness submit --workloads 'gzip,loopy-*' --configs IC,TC
+    python -m repro.harness scenarios gen --families loopy,branchy
+    python -m repro.harness scenarios run --workloads 'redund-*' --jobs 4
+    python -m repro.harness scenarios import trace.rutb
+    python -m repro.harness scenarios characterize loopy-s1-003
     python -m repro.harness fuzz run --seed 1 --iterations 10000 --jobs 4
     python -m repro.harness fuzz repro <case-id>  # replay a stored divergence
     python -m repro.harness fuzz corpus ls
@@ -312,7 +316,14 @@ def _submit_cells(args) -> list:
                 "submit: need an experiment name or both --workloads and "
                 "--configs"
             )
-        workloads = [w for w in args.workloads.split(",") if w]
+        from repro.workloads.base import resolve_workloads
+
+        try:
+            workloads = resolve_workloads(
+                [w for w in args.workloads.split(",") if w]
+            )
+        except KeyError as exc:
+            raise SystemExit(f"submit: {exc.args[0]}")
         configs = [c for c in args.configs.split(",") if c]
     return [
         CellSpec(workload=w, config=c, scale=args.scale, seed=args.seed)
@@ -337,7 +348,11 @@ def submit_main(argv: list[str]) -> int:
         "experiment", nargs="?", default=None, choices=SUBMIT_EXPERIMENTS,
         help="named matrix to submit (or use --workloads/--configs)",
     )
-    parser.add_argument("--workloads", default=None, metavar="A,B,...")
+    parser.add_argument(
+        "--workloads", default=None, metavar="A,loopy-*,...",
+        help="workload names or globs, expanded client-side via the "
+        "shared resolver",
+    )
     parser.add_argument(
         "--configs", default=None, metavar="IC,TC,...",
         help="config names from the CONFIGS registry (IC, IC64, TC, RP, RPO)",
@@ -440,6 +455,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.fuzz.cli import fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "scenarios":
+        from repro.scenarios.cli import scenarios_main
+
+        return scenarios_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",

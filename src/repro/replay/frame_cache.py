@@ -37,6 +37,14 @@ class FrameCache:
         """Presence probe that does not disturb LRU or hit statistics."""
         return pc in self._frames
 
+    def frames(self) -> list[Frame]:
+        """Resident frames in LRU order (oldest first), for reporting.
+
+        A snapshot list — iterating it never disturbs LRU state or hit
+        statistics (the characterization report walks it post-run).
+        """
+        return list(self._frames.values())
+
     def lookup(self, pc: int) -> Frame | None:
         frame = self._frames.get(pc)
         if frame is None:

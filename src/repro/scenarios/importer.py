@@ -1,0 +1,429 @@
+"""External trace ingestion: validate, canonicalize, register, run.
+
+The interchange format is the PR-1 binary trace codec
+(:mod:`repro.artifacts.codec`, magic ``RUTB``), plus a documented JSON
+text form for third parties who don't want to emit gzip'd structs
+(see DESIGN.md §13 for the field-level spec).  Import is strict:
+
+* the codec version must match (``TraceVersionError`` names the file
+  and both versions — never a bare ``struct.error``);
+* every conditional branch must carry its direction;
+* record linkage must be continuous (``next_pc`` chains, and non-control
+  instructions fall through by their encoded length);
+* memory transactions must be sane (size 1/2/4, 32-bit addresses,
+  data within the access width);
+* the register-effect stream must be complete enough to decode — each
+  record is run through the Micro-Op Injector, exactly the consumer
+  that would choke on an incomplete trace at simulation time.
+
+Malformed inputs are quarantined (copied into the import quarantine
+directory) and rejected with a structured error listing every problem
+found.  Valid traces are re-encoded canonically into the import
+directory and become runnable workloads named ``ext-<name>``: the
+registry provider resolves them in any process, and the artifact store
+keys them by the canonical file's content digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.artifacts import codec
+from repro.artifacts.store import default_cache_dir
+from repro.trace.injector import InjectionError, MicroOpInjector
+from repro.trace.record import MemOp, TraceRecord
+from repro.trace.stream import DynamicTrace
+from repro.trace.tracefile import (
+    TraceFileError,
+    _decode_operand,
+    _encode_operand,
+)
+from repro.x86.instructions import Cond, Instruction, Mnemonic
+from repro.x86.registers import Reg
+
+#: JSON text interchange form identifiers.
+JSON_FORMAT = "repro-uopt/trace-json"
+JSON_VERSION = 1
+
+#: Imported workload names are ``ext-<sanitized stem>``.
+NAME_PREFIX = "ext-"
+
+#: Validation caps how many problems it reports per trace.
+MAX_PROBLEMS = 20
+
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+class TraceImportError(TraceFileError):
+    """A structured import failure: the file, plus every problem found."""
+
+    def __init__(self, filename: str, problems: list[str]):
+        self.filename = filename
+        self.problems = list(problems)
+        listing = "; ".join(self.problems[:MAX_PROBLEMS])
+        super().__init__(f"{filename}: rejected ({listing})")
+
+
+@dataclass
+class ImportReport:
+    """What one import did."""
+
+    name: str
+    source: str
+    path: str
+    records: int
+    instructions: int
+    digest: str
+    problems: list[str] = field(default_factory=list)
+
+
+def imported_dir(root: str | os.PathLike | None = None) -> Path:
+    """Where canonical imported traces live (under the cache root)."""
+    base = Path(root).expanduser() if root else default_cache_dir()
+    return base / "imported"
+
+
+def quarantine_dir(root: str | os.PathLike | None = None) -> Path:
+    return imported_dir(root) / "quarantine"
+
+
+# ------------------------------------------------------------- JSON form
+
+
+def trace_to_json(trace: DynamicTrace) -> dict:
+    """Serialize a trace to the documented JSON text interchange form."""
+    instructions: dict[int, Instruction] = {}
+    for record in trace:
+        instructions.setdefault(record.pc, record.instruction)
+    return {
+        "format": JSON_FORMAT,
+        "version": JSON_VERSION,
+        "name": trace.name,
+        "instructions": [
+            {
+                "address": address,
+                "length": instr.length,
+                "mnemonic": instr.mnemonic.value,
+                "cond": instr.cond.value if instr.cond else None,
+                "operands": [_encode_operand(op) for op in instr.operands],
+                "label_targets": dict(sorted(instr.label_targets.items())),
+            }
+            for address, instr in sorted(instructions.items())
+        ],
+        "records": [
+            {
+                "pc": record.pc,
+                "next_pc": record.next_pc,
+                "flags": record.flags_after,
+                "reg_writes": {
+                    str(int(reg)): value
+                    for reg, value in record.reg_writes.items()
+                },
+                "mem_ops": [
+                    {
+                        "store": op.is_store,
+                        "address": op.address,
+                        "size": op.size,
+                        "data": op.data,
+                    }
+                    for op in record.mem_ops
+                ],
+                "branch_taken": record.branch_taken,
+            }
+            for record in trace
+        ],
+    }
+
+
+def trace_from_json(payload: dict, filename: str | None = None) -> DynamicTrace:
+    """Parse the JSON text interchange form (inverse of trace_to_json)."""
+    where = filename or "<json>"
+    if payload.get("format") != JSON_FORMAT:
+        raise TraceFileError(
+            f"{where}: not a {JSON_FORMAT} document "
+            f"(format={payload.get('format')!r})"
+        )
+    version = payload.get("version")
+    if version != JSON_VERSION:
+        from repro.trace.tracefile import TraceVersionError
+
+        raise TraceVersionError(version, JSON_VERSION, where)
+    try:
+        instructions: dict[int, Instruction] = {}
+        for entry in payload.get("instructions", ()):
+            instr = Instruction(
+                mnemonic=Mnemonic(entry["mnemonic"]),
+                operands=tuple(
+                    _decode_operand(token) for token in entry["operands"]
+                ),
+                cond=Cond(entry["cond"]) if entry.get("cond") else None,
+            )
+            instr.address = int(entry["address"])
+            instr.length = int(entry["length"])
+            instr.label_targets = {
+                str(k): int(v)
+                for k, v in entry.get("label_targets", {}).items()
+            }
+            instructions[instr.address] = instr
+        records = []
+        for entry in payload.get("records", ()):
+            pc = int(entry["pc"])
+            if pc not in instructions:
+                raise TraceFileError(
+                    f"{where}: record references unknown pc {pc:#x}"
+                )
+            records.append(
+                TraceRecord(
+                    pc=pc,
+                    instruction=instructions[pc],
+                    next_pc=int(entry["next_pc"]),
+                    reg_writes={
+                        Reg(int(reg)): int(value)
+                        for reg, value in entry.get("reg_writes", {}).items()
+                    },
+                    flags_after=(
+                        None
+                        if entry.get("flags") is None
+                        else int(entry["flags"])
+                    ),
+                    mem_ops=tuple(
+                        MemOp(
+                            is_store=bool(op["store"]),
+                            address=int(op["address"]),
+                            size=int(op["size"]),
+                            data=int(op["data"]),
+                        )
+                        for op in entry.get("mem_ops", ())
+                    ),
+                    branch_taken=(
+                        None
+                        if entry.get("branch_taken") is None
+                        else bool(entry["branch_taken"])
+                    ),
+                )
+            )
+    except TraceFileError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFileError(
+            f"{where}: malformed trace JSON: {type(exc).__name__}: {exc}"
+        ) from exc
+    return DynamicTrace(records, name=str(payload.get("name", "imported")))
+
+
+# ------------------------------------------------------------- validation
+
+
+def validate_trace(trace: DynamicTrace) -> list[str]:
+    """Strict semantic validation; returns every problem found (capped)."""
+    problems: list[str] = []
+
+    def note(text: str) -> bool:
+        problems.append(text)
+        return len(problems) >= MAX_PROBLEMS
+
+    if not len(trace):
+        return ["trace has no records"]
+    for i, record in enumerate(trace):
+        instr = record.instruction
+        if record.is_conditional_branch and record.branch_taken is None:
+            if note(f"record {i}: conditional branch without direction"):
+                return problems
+        if not instr.is_branch and record.next_pc != record.pc + instr.length:
+            if note(
+                f"record {i}: next_pc {record.next_pc:#x} does not follow "
+                f"{record.pc:#x}+{instr.length}"
+            ):
+                return problems
+        if i + 1 < len(trace) and record.next_pc != trace[i + 1].pc:
+            if note(
+                f"record {i}: next_pc {record.next_pc:#x} breaks linkage to "
+                f"record {i + 1} at {trace[i + 1].pc:#x}"
+            ):
+                return problems
+        for op in record.mem_ops:
+            if op.size not in (1, 2, 4):
+                if note(f"record {i}: memory op size {op.size}"):
+                    return problems
+            elif not (0 <= op.address < 2**32):
+                if note(f"record {i}: memory address {op.address:#x} not 32-bit"):
+                    return problems
+            elif not (0 <= op.data < 1 << (8 * op.size)):
+                if note(
+                    f"record {i}: memory data {op.data:#x} exceeds "
+                    f"{op.size}-byte width"
+                ):
+                    return problems
+
+    # Register-effect completeness: the injector is the real consumer —
+    # run every record through it so an undecodable or transaction-short
+    # trace fails at import, not mid-simulation.
+    if not problems:
+        injector = MicroOpInjector()
+        for i, record in enumerate(trace):
+            try:
+                injector.inject(record)
+            except (InjectionError, KeyError, ValueError) as exc:
+                problems.append(f"record {i}: uop injection failed: {exc}")
+                break
+    return problems
+
+
+# ----------------------------------------------------------------- import
+
+
+def _sanitize_name(stem: str) -> str:
+    cleaned = "".join(
+        ch if (ch.isalnum() or ch in "_-") else "-" for ch in stem.lower()
+    ).strip("-")
+    if not cleaned:
+        raise TraceFileError(f"cannot derive a workload name from {stem!r}")
+    return NAME_PREFIX + cleaned
+
+
+def _quarantine(source: Path, root: str | os.PathLike | None) -> Path | None:
+    target_dir = quarantine_dir(root)
+    try:
+        target_dir.mkdir(parents=True, exist_ok=True)
+        target = target_dir / source.name
+        shutil.copy2(source, target)
+        return target
+    except OSError:
+        return None  # silent-ok: quarantine is best-effort evidence keeping
+
+
+def decode_external(data: bytes, filename: str) -> DynamicTrace:
+    """Decode either interchange form by sniffing the payload."""
+    if data[:2] == _GZIP_MAGIC:
+        return codec.decode_trace(data, filename=filename)
+    stripped = data.lstrip()
+    if stripped[:1] == b"{":
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise TraceFileError(f"{filename}: invalid JSON: {exc}") from exc
+        return trace_from_json(payload, filename=filename)
+    raise TraceFileError(
+        f"{filename}: unrecognized trace format (expected RUTB binary or "
+        f"{JSON_FORMAT} JSON)"
+    )
+
+
+def import_trace(
+    path: str | os.PathLike,
+    name: str | None = None,
+    root: str | os.PathLike | None = None,
+) -> ImportReport:
+    """Validate and canonicalize one external trace file.
+
+    On success the trace is re-encoded with the binary codec into the
+    import directory and the returned report names the registered
+    workload.  On failure the source file is quarantined and a
+    :class:`TraceImportError` lists every problem.
+    """
+    source = Path(path)
+    data = source.read_bytes()
+    try:
+        trace = decode_external(data, str(source))
+    except TraceFileError as exc:
+        _quarantine(source, root)
+        if isinstance(exc, TraceImportError):
+            raise
+        raise TraceImportError(str(source), [str(exc)]) from exc
+
+    problems = validate_trace(trace)
+    if problems:
+        _quarantine(source, root)
+        raise TraceImportError(str(source), problems)
+
+    workload_name = _sanitize_name(name or trace.name or source.stem)
+    trace.name = workload_name
+    payload = codec.encode_trace(trace)
+    target_dir = imported_dir(root)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    target = target_dir / f"{workload_name}.rutb"
+    fd, tmp_name = tempfile.mkstemp(dir=target_dir, prefix=".tmp-", suffix=".rutb")
+    try:
+        with os.fdopen(fd, "wb") as stream:
+            stream.write(payload)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass  # silent-ok: best-effort temp cleanup; original error re-raised
+        raise
+
+    stats = trace.stats()
+    return ImportReport(
+        name=workload_name,
+        source=str(source),
+        path=str(target),
+        records=stats.x86_instructions,
+        instructions=stats.unique_pcs,
+        digest=hashlib.sha256(payload).hexdigest(),
+    )
+
+
+# --------------------------------------------------------------- registry
+
+
+def _imported_workload(name: str, path: Path) -> "Workload":
+    from repro.workloads.base import Workload
+
+    digest = hashlib.sha256(path.read_bytes()).hexdigest()
+
+    def load_trace(scale: int, seed: int) -> DynamicTrace:
+        # Imported traces are fixed recordings: scale and seed select
+        # nothing (the trace is the trace), but stay in the signature so
+        # the runner treats imported and synthetic workloads uniformly.
+        return codec.load_trace_binary(str(path))
+
+    return Workload(
+        name=name,
+        category="Imported",
+        description=f"imported trace ({path.name})",
+        load_trace=load_trace,
+        digest=digest,
+    )
+
+
+class ImportedTraceProvider:
+    """Resolves ``ext-*`` names against the import directory.
+
+    The directory is derived from the cache root environment at lookup
+    time, so workers launched with the same ``REPRO_UOPT_CACHE_DIR`` see
+    the same imported workloads.  (A CLI ``--cache-dir`` override that
+    diverges from the environment is documented to not carry into pool
+    workers for imported traces.)
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = root
+
+    def lookup(self, name: str):
+        if not name.startswith(NAME_PREFIX):
+            return None
+        path = imported_dir(self.root) / f"{name}.rutb"
+        if not path.is_file():
+            return None
+        return _imported_workload(name, path)
+
+    def names(self) -> list[str]:
+        directory = imported_dir(self.root)
+        if not directory.is_dir():
+            return []
+        return sorted(
+            path.stem
+            for path in directory.glob(f"{NAME_PREFIX}*.rutb")
+        )
+
+
+#: The process-wide provider instance (installed by repro.scenarios).
+PROVIDER = ImportedTraceProvider()

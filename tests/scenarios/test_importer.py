@@ -1,0 +1,199 @@
+"""Trace ingestion: round-trip fidelity and strict rejection.
+
+Export → import must be lossless for every seed workload — the imported
+workload produces the *identical* simulation result, which is the whole
+point of the interchange boundary.  Malformed inputs (corrupt bytes,
+truncations, future codec versions, semantically broken traces) are
+rejected with structured errors naming the file, and quarantined.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import struct
+from pathlib import Path
+
+import pytest
+
+from repro.artifacts.codec import dump_trace_binary, encode_trace
+from repro.artifacts.store import ArtifactStore
+from repro.harness.experiment import CONFIGS, run_experiment
+from repro.harness.figures import PAPER_ORDER
+from repro.scenarios.importer import (
+    TraceImportError,
+    import_trace,
+    quarantine_dir,
+    trace_from_json,
+    trace_to_json,
+    validate_trace,
+)
+from repro.trace.record import TraceRecord
+from repro.trace.stream import DynamicTrace
+from repro.trace.tracefile import TraceVersionError
+from repro.workloads import base as workloads_base
+from repro.workloads.base import build_workload, get_workload
+
+_TRACES: dict[str, DynamicTrace] = {}
+
+
+def _trace(name: str) -> DynamicTrace:
+    if name not in _TRACES:
+        _TRACES[name] = build_workload(name)
+    return _TRACES[name]
+
+
+@pytest.fixture
+def cache_root(tmp_path, monkeypatch):
+    """Isolate the import directory and the provider lookup cache."""
+    monkeypatch.setenv("REPRO_UOPT_CACHE_DIR", str(tmp_path))
+    workloads_base._PROVIDER_CACHE.clear()
+    yield tmp_path
+    workloads_base._PROVIDER_CACHE.clear()
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_import_roundtrip_all_workloads(name, cache_root, tmp_path):
+    trace = _trace(name)
+    source = tmp_path / f"{name}.rutb"
+    dump_trace_binary(trace, str(source))
+    report = import_trace(source)
+    assert report.name == f"ext-{name}"
+    assert report.records == len(trace)
+    imported = build_workload(report.name)
+    assert imported.records == trace.records
+
+
+@pytest.mark.parametrize("name", ["gzip", "bzip2"])
+def test_imported_simresult_identical(name, cache_root, tmp_path):
+    trace = _trace(name)
+    source = tmp_path / f"{name}.rutb"
+    dump_trace_binary(trace, str(source))
+    report = import_trace(source)
+    imported = build_workload(report.name)
+    native = run_experiment(trace, CONFIGS["RPO"], workload_name=name)
+    external = run_experiment(
+        imported, CONFIGS["RPO"], workload_name=report.name
+    )
+    assert external.sim == native.sim
+
+
+def test_imported_workload_metadata(cache_root, tmp_path):
+    trace = _trace("gzip")
+    source = tmp_path / "mytrace.rutb"
+    dump_trace_binary(trace, str(source))
+    report = import_trace(source, name="MyTrace!Run")
+    assert report.name == "ext-mytrace-run"  # sanitized, always prefixed
+    workload = get_workload(report.name)
+    assert workload.category == "Imported"
+    assert workload.digest == report.digest
+    assert workload.build is None and workload.load_trace is not None
+
+
+def test_json_form_roundtrip(cache_root, tmp_path):
+    trace = _trace("gzip")
+    payload = trace_to_json(trace)
+    again = trace_from_json(json.loads(json.dumps(payload)))
+    assert again.records == trace.records
+    source = tmp_path / "fromjson.json"
+    source.write_text(json.dumps(payload))
+    report = import_trace(source)
+    assert report.name == "ext-gzip"  # embedded trace name wins over stem
+    assert build_workload(report.name).records == trace.records
+
+
+def test_json_version_mismatch_is_structured(tmp_path, cache_root):
+    payload = trace_to_json(_trace("gzip"))
+    payload["version"] = 99
+    source = tmp_path / "future.json"
+    source.write_text(json.dumps(payload))
+    with pytest.raises(TraceImportError) as excinfo:
+        import_trace(source)
+    assert "future.json" in str(excinfo.value)
+    assert isinstance(excinfo.value.__cause__, TraceVersionError)
+
+
+def test_corrupt_binary_rejected_and_quarantined(cache_root, tmp_path):
+    source = tmp_path / "bad.rutb"
+    source.write_bytes(b"\x1f\x8bdefinitely not gzip")
+    with pytest.raises(TraceImportError, match="bad.rutb"):
+        import_trace(source)
+    assert (quarantine_dir() / "bad.rutb").is_file()
+
+
+def test_truncated_binary_rejected(cache_root, tmp_path):
+    data = encode_trace(_trace("gzip"))
+    source = tmp_path / "trunc.rutb"
+    source.write_bytes(data[: len(data) // 2])
+    with pytest.raises(TraceImportError, match="trunc.rutb"):
+        import_trace(source)
+
+
+def test_version_bump_names_file_and_versions(cache_root, tmp_path):
+    raw = bytearray(gzip.decompress(encode_trace(_trace("gzip"))))
+    struct.pack_into("<H", raw, 4, 99)  # bump the codec version field
+    source = tmp_path / "v99.rutb"
+    source.write_bytes(gzip.compress(bytes(raw)))
+    with pytest.raises(TraceImportError) as excinfo:
+        import_trace(source)
+    cause = excinfo.value.__cause__
+    assert isinstance(cause, TraceVersionError)
+    assert cause.found == 99 and cause.supported == 1
+    assert "v99.rutb" in str(excinfo.value)
+
+
+def test_semantic_validation_rejects_directionless_branch(
+    cache_root, tmp_path
+):
+    trace = _trace("gzip")
+    records = list(trace.records)
+    for i, record in enumerate(records):
+        if record.is_conditional_branch:
+            records[i] = TraceRecord(
+                pc=record.pc,
+                instruction=record.instruction,
+                next_pc=record.next_pc,
+                reg_writes=record.reg_writes,
+                flags_after=record.flags_after,
+                mem_ops=record.mem_ops,
+                branch_taken=None,
+            )
+            break
+    broken = DynamicTrace(records, name="broken")
+    problems = validate_trace(broken)
+    assert any("without direction" in p for p in problems)
+    source = tmp_path / "broken.rutb"
+    dump_trace_binary(broken, str(source))
+    with pytest.raises(TraceImportError, match="without direction"):
+        import_trace(source)
+
+
+def test_store_treats_corrupt_trace_as_miss(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    store.put_trace("a" * 64, _trace("gzip"))
+    store.put_bytes("trace", "b" * 64, b"\x1f\x8bgarbage", label="bad")
+    assert store.get_trace("a" * 64) is not None
+    assert store.get_trace("b" * 64) is None  # structured miss, no crash
+
+
+def test_unrecognized_format_rejected(cache_root, tmp_path):
+    source = tmp_path / "noise.bin"
+    source.write_bytes(b"\x00\x01\x02\x03 neither gzip nor json")
+    with pytest.raises(TraceImportError, match="unrecognized trace format"):
+        import_trace(source)
+
+
+def test_empty_trace_rejected(cache_root, tmp_path):
+    source = tmp_path / "empty.rutb"
+    dump_trace_binary(DynamicTrace([], name="empty"), str(source))
+    with pytest.raises(TraceImportError, match="no records"):
+        import_trace(source)
+
+
+def test_imported_dir_canonical_file_reimports(cache_root, tmp_path):
+    # The canonical re-encoded file is itself a valid interchange file.
+    source = tmp_path / "twice.rutb"
+    dump_trace_binary(_trace("gzip"), str(source))
+    first = import_trace(source)
+    second = import_trace(Path(first.path), name="twice-again")
+    assert build_workload(second.name).records == _trace("gzip").records
