@@ -1,0 +1,52 @@
+"""Config-axis fuzz throughput: (program, config) pairs/sec.
+
+Each benched pair runs ~7 full pipeline simulations (3 front ends × 2
+scheduling modes + the widened monotonicity re-sim), so pairs/sec is
+what sizes config-axis campaign budgets — the CI smoke's 50 pairs, the
+acceptance run's 200.  With ``--json PATH`` the suite writes serial and
+parallel rates side by side for EXPERIMENTS.md.
+"""
+
+from repro.fuzz.campaign import ConfigCampaignConfig, run_config_campaign
+
+ITERATIONS = 12
+_SEED = 11
+
+
+def _campaign(jobs: int):
+    return run_config_campaign(
+        ConfigCampaignConfig(
+            seed=_SEED, iterations=ITERATIONS, jobs=jobs, chunk_size=3
+        )
+    )
+
+
+def test_bench_config_fuzz_serial(benchmark, bench_records):
+    result = benchmark.pedantic(lambda: _campaign(1), rounds=2, iterations=1)
+    assert result.ok
+    assert result.pairs == ITERATIONS
+    bench_records["config_fuzz_serial"] = {
+        "jobs": 1,
+        "pairs": result.pairs,
+        "simulations": result.simulations,
+        "pairs_per_sec": round(result.pairs_per_sec, 2),
+        "digest": result.digest,
+    }
+
+
+def test_bench_config_fuzz_parallel(benchmark, bench_records):
+    result = benchmark.pedantic(lambda: _campaign(4), rounds=2, iterations=1)
+    assert result.ok
+    assert result.pairs == ITERATIONS
+    bench_records["config_fuzz_jobs4"] = {
+        "jobs": 4,
+        "pairs": result.pairs,
+        "simulations": result.simulations,
+        "pairs_per_sec": round(result.pairs_per_sec, 2),
+        "digest": result.digest,
+    }
+    # Reproducibility is part of the contract being benched: the digest
+    # must not depend on how the campaign was parallelised.
+    serial = bench_records.get("config_fuzz_serial")
+    if serial is not None:
+        assert serial["digest"] == result.digest

@@ -22,6 +22,17 @@ differentially checking randomly generated programs:
 * :mod:`repro.fuzz.campaign` — seed-derived, byte-reproducible
   campaigns fanned out over the parallel runner.
 
+The **configuration axis** gets the same treatment:
+
+* :mod:`repro.fuzz.configgen` — a seeded generator of
+  valid-by-construction :class:`~repro.timing.config.ProcessorConfig`
+  samples (widths, FU counts, cache geometries, latencies, predictor
+  sizes), plus greedy shrink-toward-default steps;
+* :mod:`repro.fuzz.config_oracle` — the config-differential oracle:
+  each (program, config) pair must satisfy template-vs-reference
+  scheduling identity, retire conservation, and capacity-widening
+  monotonicity under arbitrary valid geometries.
+
 Every random decision flows from an explicit ``random.Random(seed)``;
 no module-level randomness is used anywhere in the package.
 """
@@ -40,24 +51,53 @@ from repro.fuzz.oracle import (
     ProgramReport,
     run_differential,
 )
-from repro.fuzz.campaign import CampaignConfig, CampaignResult, run_campaign
-from repro.fuzz.shrink import shrink_program
+from repro.fuzz.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    ConfigCampaignConfig,
+    ConfigCampaignResult,
+    run_campaign,
+    run_config_campaign,
+)
+from repro.fuzz.config_oracle import (
+    ConfigDivergence,
+    ConfigOracleConfig,
+    ConfigPairReport,
+    run_config_differential,
+)
+from repro.fuzz.configgen import (
+    config_from_json,
+    config_to_json,
+    generate_config,
+)
+from repro.fuzz.shrink import shrink_config_case, shrink_program
 from repro.fuzz.corpus import FuzzCorpus
 
 __all__ = [
     "CampaignConfig",
     "CampaignResult",
+    "ConfigCampaignConfig",
+    "ConfigCampaignResult",
+    "ConfigDivergence",
+    "ConfigOracleConfig",
+    "ConfigPairReport",
     "Divergence",
     "FuzzCorpus",
     "FuzzProgram",
     "GeneratorConfig",
     "OracleConfig",
     "ProgramReport",
+    "config_from_json",
+    "config_to_json",
+    "generate_config",
     "generate_program",
     "program_from_json",
     "program_to_json",
     "render_program",
     "run_campaign",
+    "run_config_campaign",
+    "run_config_differential",
     "run_differential",
+    "shrink_config_case",
     "shrink_program",
 ]

@@ -28,6 +28,12 @@ from dataclasses import dataclass, field
 from repro.artifacts.runner import TaskError, run_tasks
 from repro.metrics import MetricsRegistry
 
+from repro.fuzz.config_oracle import (
+    ConfigDivergence,
+    ConfigOracleConfig,
+    run_config_differential,
+)
+from repro.fuzz.configgen import config_to_json, generate_config
 from repro.fuzz.generator import (
     FuzzProgram,
     GeneratorConfig,
@@ -39,6 +45,10 @@ from repro.fuzz.oracle import Divergence, OracleConfig, run_differential
 #: Programs per worker task: large enough to amortize process dispatch,
 #: small enough that --duration budgets stay responsive.
 DEFAULT_CHUNK = 25
+
+#: (program, config) pairs per worker task: each pair runs ~7 full
+#: simulations, so chunks are smaller than the program campaign's.
+DEFAULT_CONFIG_CHUNK = 5
 
 
 def derive_program_seed(campaign_seed: int, index: int) -> int:
@@ -234,3 +244,199 @@ def _genome_back(genome_json: dict | None) -> FuzzProgram:
     if genome_json is None:  # pragma: no cover - defensive
         raise ValueError("divergent summary carried no genome")
     return program_from_json(genome_json)
+
+
+# -------------------------------------------------------- config campaigns
+
+
+def derive_config_seed(campaign_seed: int, index: int) -> int:
+    """Stable per-pair config seed, independent of the program seed.
+
+    A distinct derivation domain ("config") keeps the config axis
+    decorrelated from the program axis: pair *i* runs program
+    ``derive_program_seed(seed, i)`` under config
+    ``derive_config_seed(seed, i)``.
+    """
+    material = f"repro.fuzz.config:{campaign_seed}:{index}".encode()
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class ConfigCampaignConfig:
+    """One config-axis campaign: (program, config) pairs from one seed."""
+
+    seed: int = 1
+    iterations: int = 200
+    duration: float | None = None  # seconds; overrides iterations when set
+    jobs: int = 1
+    chunk_size: int = DEFAULT_CONFIG_CHUNK
+    generator: GeneratorConfig = GeneratorConfig()
+    oracle: ConfigOracleConfig = ConfigOracleConfig()
+
+
+@dataclass
+class DivergentPair:
+    """A (program, config) pair the oracle flagged, replayable as-is."""
+
+    index: int
+    program_seed: int
+    config_seed: int
+    genome: FuzzProgram
+    config_json: dict
+    divergences: list[ConfigDivergence]
+
+
+@dataclass
+class ConfigCampaignResult:
+    """Aggregate outcome of one config-axis campaign."""
+
+    seed: int
+    pairs: int = 0
+    simulations: int = 0
+    frames_fetched: int = 0
+    frames_fired: int = 0
+    trace_records: int = 0
+    optimized_slower: int = 0
+    seconds: float = 0.0
+    jobs: int = 1
+    digest: str = ""
+    divergent: list[DivergentPair] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergent
+
+    @property
+    def pairs_per_sec(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.pairs / self.seconds
+
+
+class ConfigFuzzTaskError(TaskError):
+    """A config campaign chunk failed outside the oracle's own checks."""
+
+    def __init__(self, first_index: int, original: BaseException):
+        self.first_index = first_index
+        super().__init__(
+            f"config fuzz chunk starting at pair {first_index}", original
+        )
+
+
+def _config_chunk_worker(payload: dict):
+    """Run one chunk of (program, config) pair indices (pool worker)."""
+    registry = MetricsRegistry()
+    generator_config = payload["generator"]
+    oracle_config = payload["oracle"]
+    campaign_seed = payload["seed"]
+    summaries = []
+    for index in payload["indices"]:
+        program_seed = derive_program_seed(campaign_seed, index)
+        config_seed = derive_config_seed(campaign_seed, index)
+        genome = generate_program(program_seed, generator_config)
+        processor = generate_config(config_seed)
+        report = run_config_differential(
+            genome, processor, oracle_config, metrics=registry
+        )
+        summary = {
+            "index": index,
+            "program_seed": program_seed,
+            "config_seed": config_seed,
+            "trace_length": report.trace_length,
+            "simulations": report.simulations,
+            "frames_fetched": report.frames_fetched,
+            "frames_fired": report.frames_fired,
+            "optimized_slower": report.optimized_slower,
+            "divergences": [d.to_json() for d in report.divergences],
+        }
+        if report.divergences:
+            summary["genome"] = program_to_json(genome)
+            summary["config"] = config_to_json(processor)
+        summaries.append(summary)
+    return summaries, registry.snapshot()
+
+
+def run_config_campaign(
+    config: ConfigCampaignConfig,
+    metrics: MetricsRegistry | None = None,
+    progress=None,
+) -> ConfigCampaignResult:
+    """Run a config-axis campaign; same reproducibility contract as
+    :func:`run_campaign` — the digest depends only on (seed, count)."""
+    result = ConfigCampaignResult(seed=config.seed, jobs=config.jobs)
+    start = time.perf_counter()
+    summary_hash = hashlib.sha256()
+    next_index = 0
+
+    def run_batch(count: int) -> None:
+        nonlocal next_index
+        chunks = _chunks(next_index, count, config.chunk_size)
+        next_index += count
+        payloads = [
+            {
+                "seed": config.seed,
+                "indices": chunk,
+                "generator": config.generator,
+                "oracle": config.oracle,
+            }
+            for chunk in chunks
+        ]
+        outputs, effective_jobs = run_tasks(
+            _config_chunk_worker,
+            payloads,
+            jobs=config.jobs,
+            registry=metrics,
+            wrap_error=lambda payload, exc: ConfigFuzzTaskError(
+                payload["indices"][0], exc
+            ),
+        )
+        result.jobs = effective_jobs
+        for summaries, snapshot in outputs:
+            if metrics is not None and snapshot is not None:
+                metrics.merge(snapshot)
+            for summary in summaries:
+                result.pairs += 1
+                result.simulations += summary["simulations"]
+                result.frames_fetched += summary["frames_fetched"]
+                result.frames_fired += summary["frames_fired"]
+                result.trace_records += summary["trace_length"]
+                result.optimized_slower += int(summary["optimized_slower"])
+                genome_json = summary.pop("genome", None)
+                config_json = summary.pop("config", None)
+                summary_hash.update(
+                    json.dumps(
+                        summary, sort_keys=True, separators=(",", ":")
+                    ).encode()
+                )
+                if summary["divergences"]:
+                    result.divergent.append(
+                        DivergentPair(
+                            index=summary["index"],
+                            program_seed=summary["program_seed"],
+                            config_seed=summary["config_seed"],
+                            genome=_genome_back(genome_json),
+                            config_json=config_json,
+                            divergences=[
+                                ConfigDivergence.from_json(d)
+                                for d in summary["divergences"]
+                            ],
+                        )
+                    )
+
+    if config.duration is not None:
+        batch = max(config.chunk_size * max(1, config.jobs), 1)
+        while time.perf_counter() - start < config.duration:
+            run_batch(batch)
+            if progress is not None:
+                progress(result.pairs, None)
+    else:
+        run_batch(config.iterations)
+        if progress is not None:
+            progress(result.pairs, config.iterations)
+
+    result.seconds = time.perf_counter() - start
+    result.digest = summary_hash.hexdigest()
+    if metrics is not None:
+        metrics.counter("fuzz.config.campaign_pairs").inc(result.pairs)
+        metrics.gauge("fuzz.config.pairs_per_sec").set(result.pairs_per_sec)
+    return result

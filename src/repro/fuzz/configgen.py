@@ -1,0 +1,205 @@
+"""Seeded random :class:`ProcessorConfig` generator (the config axis).
+
+The program fuzzer (PR 3) varies *programs* against one fixed processor
+configuration; this module varies the *configuration* too, in the
+uops.info spirit of sweeping latency/width knobs.  Configs are sampled
+**valid by construction** inside an explicit envelope:
+
+* cache geometries are built from independently sampled power-of-two
+  line sizes, associativities, and set counts — size is derived as
+  ``line * assoc * sets``, so the divisibility and minimum-size
+  constraints of :meth:`CacheConfig.validate` hold by construction;
+* pipeline widths are sampled with ``window_size >= fetch_width``
+  (anything narrower deadlocks fetch) and every functional-unit pool
+  has at least one unit (a zero-capacity pool spins the issue loop);
+* predictor sizes respect the validated shapes (``ghr_bits >= 1``,
+  power-of-two ``btb_entries``, ``ras_depth >= 1``).
+
+Every sample is ``validate()``-checked after construction anyway — the
+generator drifting out of the envelope should fail the campaign loudly,
+not silently fuzz rejected configs.
+
+Like program genomes, configs are JSON round-trippable so the corpus
+can store failing (program, config) pairs, and the shrinker can walk a
+failing config back toward :func:`default_config` field by field
+(:func:`shrink_steps`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import fields
+
+from repro.timing.config import CacheConfig, ProcessorConfig, default_config
+
+#: Sampled dimensions, in shrink order (front end first).  Kept explicit
+#: rather than derived from ``dataclasses.fields`` so adding a config
+#: field later cannot silently change seeded draw sequences.
+CONFIG_FIELDS = (
+    "fetch_width",
+    "retire_width",
+    "x86_decode_width",
+    "window_size",
+    "branch_resolution_depth",
+    "simple_alus",
+    "complex_alus",
+    "fpus",
+    "load_store_units",
+    "ghr_bits",
+    "btb_entries",
+    "ras_depth",
+    "icache",
+    "dcache",
+    "l2",
+    "memory_latency",
+    "frame_cache_uops",
+    "cache_switch_penalty",
+    "mul_latency",
+    "div_latency",
+)
+
+_CACHE_FIELDS = ("size_bytes", "line_bytes", "associativity", "hit_latency")
+
+#: Geometry pools.  Small set counts are deliberately over-weighted:
+#: conflict misses (and the LRU eviction traffic they cause) live there.
+_LINE_BYTES = (16, 32, 64, 64, 128)
+_ASSOCIATIVITY = (1, 1, 2, 2, 4, 4, 8)
+_L1_SETS = (1, 2, 4, 8, 16, 32, 64, 128)
+_L2_SETS = (8, 16, 32, 64, 128, 256, 512)
+
+_FETCH_WIDTHS = (1, 2, 4, 4, 8, 8, 12, 16)
+_WINDOW_SIZES = (16, 32, 64, 128, 256, 512, 1024)
+_BTB_ENTRIES = (16, 64, 256, 1024, 4096)
+_FRAME_CACHE_UOPS = (64, 256, 512, 1024, 4 * 1024, 16 * 1024, 64 * 1024)
+
+
+def _sample_cache(rng: random.Random, sets_pool: tuple, latency_lo: int,
+                  latency_hi: int) -> CacheConfig:
+    line = rng.choice(_LINE_BYTES)
+    assoc = rng.choice(_ASSOCIATIVITY)
+    sets = rng.choice(sets_pool)
+    return CacheConfig(
+        size_bytes=line * assoc * sets,
+        line_bytes=line,
+        associativity=assoc,
+        hit_latency=rng.randint(latency_lo, latency_hi),
+    )
+
+
+def generate_config(seed: int) -> ProcessorConfig:
+    """One random valid configuration from ``seed`` (deterministic).
+
+    The draw sequence is frozen: campaign digests and stored corpus
+    cases depend on ``generate_config(s)`` reproducing the same config
+    forever.  New dimensions must be appended, never interleaved.
+    """
+    rng = random.Random(seed)
+    fetch_width = rng.choice(_FETCH_WIDTHS)
+    config = ProcessorConfig(
+        fetch_width=fetch_width,
+        retire_width=rng.choice((1, 2, 4, 8, 8, 16)),
+        x86_decode_width=rng.choice((1, 2, 4, 4, 8)),
+        window_size=rng.choice(
+            tuple(w for w in _WINDOW_SIZES if w >= fetch_width)
+        ),
+        branch_resolution_depth=rng.choice((0, 1, 5, 10, 15, 15, 20, 30)),
+        simple_alus=rng.randint(1, 8),
+        complex_alus=rng.randint(1, 4),
+        fpus=rng.randint(1, 4),
+        load_store_units=rng.randint(1, 6),
+        ghr_bits=rng.choice((1, 2, 4, 8, 12, 18, 18, 24)),
+        btb_entries=rng.choice(_BTB_ENTRIES),
+        ras_depth=rng.choice((1, 2, 4, 8, 16, 16, 32)),
+        icache=_sample_cache(rng, _L1_SETS, 1, 3),
+        dcache=_sample_cache(rng, _L1_SETS, 1, 4),
+        l2=_sample_cache(rng, _L2_SETS, 4, 20),
+        memory_latency=rng.choice((10, 25, 50, 50, 100, 200, 400)),
+        frame_cache_uops=rng.choice(_FRAME_CACHE_UOPS),
+        cache_switch_penalty=rng.choice((0, 1, 1, 2, 4)),
+        mul_latency=rng.choice((1, 2, 3, 4, 4, 6, 8)),
+        div_latency=rng.choice((5, 10, 20, 20, 40)),
+    )
+    config.validate()  # the envelope guarantee, enforced
+    return config
+
+
+# ------------------------------------------------------------- serialization
+
+
+def config_to_json(config: ProcessorConfig) -> dict:
+    """Config → plain dict (stable shape, version-tagged)."""
+    payload: dict = {"version": 1}
+    for name in CONFIG_FIELDS:
+        value = getattr(config, name)
+        if isinstance(value, CacheConfig):
+            payload[name] = {f: getattr(value, f) for f in _CACHE_FIELDS}
+        else:
+            payload[name] = int(value)
+    return payload
+
+
+def config_from_json(payload: dict) -> ProcessorConfig:
+    """Plain dict → config (inverse of :func:`config_to_json`)."""
+    version = payload.get("version", 1)
+    if version != 1:
+        raise ValueError(f"unsupported fuzz config version {version!r}")
+    kwargs: dict = {}
+    for name in CONFIG_FIELDS:
+        value = payload[name]
+        if name in ("icache", "dcache", "l2"):
+            kwargs[name] = CacheConfig(
+                **{f: int(value[f]) for f in _CACHE_FIELDS}
+            )
+        else:
+            kwargs[name] = int(value)
+    return ProcessorConfig(**kwargs)
+
+
+# ------------------------------------------------------------------- shrink
+
+
+def config_delta(config: ProcessorConfig) -> list[str]:
+    """Field names where ``config`` departs from the default (reporting)."""
+    base = default_config()
+    delta = []
+    for name in CONFIG_FIELDS:
+        if getattr(config, name) != getattr(base, name):
+            delta.append(name)
+    return delta
+
+
+def shrink_steps(config: ProcessorConfig) -> list[ProcessorConfig]:
+    """Candidate configs one field closer to :func:`default_config`.
+
+    One candidate per non-default field, in :data:`CONFIG_FIELDS` order;
+    each restores exactly that field (whole cache levels restore as a
+    unit — partial cache edits could leave the envelope).  The shrinker
+    greedily accepts candidates that still fail, so a minimized case
+    names the smallest set of knobs that matter.
+    """
+    base = default_config()
+    candidates = []
+    for name in config_delta(config):
+        candidate = _copy_config(config)
+        setattr(candidate, name, getattr(base, name))
+        try:
+            candidate.validate()
+        except ValueError:
+            # Restoring one field can break a cross-field constraint
+            # (window_size >= fetch_width); skip, a later joint step
+            # (restoring the partner field first) will get there.
+            continue
+        candidates.append(candidate)
+    return candidates
+
+
+def _copy_config(config: ProcessorConfig) -> ProcessorConfig:
+    kwargs = {}
+    for spec in fields(ProcessorConfig):
+        value = getattr(config, spec.name)
+        if isinstance(value, CacheConfig):
+            value = CacheConfig(
+                **{f: getattr(value, f) for f in _CACHE_FIELDS}
+            )
+        kwargs[spec.name] = value
+    return ProcessorConfig(**kwargs)

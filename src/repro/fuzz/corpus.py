@@ -9,7 +9,13 @@ case records everything needed to replay and to re-minimize:
 * where it was found (campaign seed, program index, derived seed);
 * the divergences the oracle reported at save time.
 
-``fuzz repro <case-id>`` accepts any unambiguous key prefix, like git.
+Two case formats share the store: format 1 is a program-only case
+(the semantic differential oracle), format 2 a **(program, config)**
+pair from the config-differential oracle — same shape plus a
+``config`` document (``repro.fuzz.configgen`` JSON), keyed by the
+content of both halves.  ``fuzz repro <case-id>`` accepts any
+unambiguous key prefix, like git, and replays each format through the
+oracle that produced it.
 """
 
 from __future__ import annotations
@@ -22,6 +28,8 @@ from repro.fuzz.generator import FuzzProgram, program_from_json, program_to_json
 from repro.fuzz.oracle import Divergence
 
 CASE_FORMAT = 1
+CONFIG_CASE_FORMAT = 2
+_SUPPORTED_FORMATS = (CASE_FORMAT, CONFIG_CASE_FORMAT)
 
 
 class CorpusError(Exception):
@@ -57,6 +65,39 @@ class FuzzCorpus:
         self.store.put_bytes(KIND_FUZZ, case_id, body, label=label)
         return case_id
 
+    def save_config_case(
+        self,
+        genome: FuzzProgram,
+        config_json: dict,
+        divergences: list,
+        found: dict | None = None,
+    ) -> str:
+        """Persist one (program, config) pair; returns its content key.
+
+        ``divergences`` are :class:`~repro.fuzz.config_oracle.
+        ConfigDivergence` items; the key covers both the genome and the
+        config so the same program under two configs is two cases.
+        """
+        program_json = program_to_json(genome)
+        case_id = content_key(
+            "fuzz", {"program": program_json, "config": config_json}
+        )
+        kinds = sorted({d.kind for d in divergences})
+        payload = {
+            "format": CONFIG_CASE_FORMAT,
+            "program": program_json,
+            "config": config_json,
+            "found": found or {},
+            "divergences": [d.to_json() for d in divergences],
+        }
+        body = json.dumps(payload, sort_keys=True, indent=1).encode("utf-8")
+        label = (
+            f"seed={genome.seed} ops={len(genome.ops)} "
+            f"config {','.join(kinds)}"
+        )
+        self.store.put_bytes(KIND_FUZZ, case_id, body, label=label)
+        return case_id
+
     # -------------------------------------------------------------- read
 
     def resolve(self, prefix: str) -> str:
@@ -86,10 +127,11 @@ class FuzzCorpus:
             payload = json.loads(body)
         except ValueError as exc:
             raise CorpusError(f"fuzz case {case_id[:12]} is not JSON") from exc
-        if payload.get("format") != CASE_FORMAT:
+        if payload.get("format") not in _SUPPORTED_FORMATS:
             raise CorpusError(
                 f"fuzz case {case_id[:12]} has format "
-                f"{payload.get('format')!r} (supported {CASE_FORMAT})"
+                f"{payload.get('format')!r} (supported "
+                f"{', '.join(str(f) for f in _SUPPORTED_FORMATS)})"
             )
         return payload
 

@@ -1,4 +1,4 @@
-"""Delta-debugging shrinker for divergent fuzz programs.
+"""Delta-debugging shrinker for divergent fuzz programs and configs.
 
 Given a genome the oracle flags, the shrinker searches for the smallest
 edited genome that *still* diverges, so the stored repro and the derived
@@ -13,19 +13,31 @@ regression test exercise one miscompile instead of a 16-op haystack:
    register seeds, collapse ``alias_delta`` to 0, and simplify op
    immediates/displacements toward 0.
 
-Every candidate is judged by re-running the full differential oracle;
-a candidate "still diverges" only if it reports at least one divergence
+Every candidate is judged by re-running the oracle that flagged it; a
+candidate "still diverges" only if it reports at least one divergence
 whose *kind* appeared in the original report (so shrinking cannot walk
 from an optimizer miscompile to an unrelated artifact).  Candidates
 that fail to render or halt count as non-divergent and are skipped.
 The attempt budget bounds worst-case shrink cost on pathological
 genomes.
+
+For (program, config) pairs from the config-differential oracle,
+:func:`shrink_config_case` adds the **config axis**: non-default config
+fields are greedily restored to their :func:`default_config` values
+(whole cache levels as a unit), interleaved with the program-axis
+passes above, so a minimized case names the smallest knob set — and
+smallest program — that still breaks the timing model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
+from repro.timing.config import ProcessorConfig
+
+from repro.fuzz.config_oracle import ConfigOracleConfig, run_config_differential
+from repro.fuzz.configgen import config_delta, shrink_steps
 from repro.fuzz.generator import FuzzProgram
 from repro.fuzz.oracle import OracleConfig, run_differential
 
@@ -53,7 +65,15 @@ def shrink_program(
     """Minimize ``genome`` while it keeps diverging; returns the smallest
     divergent genome found within ``max_attempts`` oracle runs."""
     oracle_config = oracle_config or OracleConfig()
-    shrinker = _Shrinker(genome, oracle_config, max_attempts)
+
+    def kinds_of(candidate: FuzzProgram) -> set[str]:
+        try:
+            report = run_differential(candidate, oracle_config)
+        except Exception:  # noqa: BLE001 - unrunnable candidate
+            return set()
+        return {d.kind for d in report.divergences}
+
+    shrinker = _Shrinker(genome, kinds_of, max_attempts)
     best = shrinker.run()
     return ShrinkResult(
         genome=best,
@@ -65,26 +85,31 @@ def shrink_program(
 
 
 class _Shrinker:
+    """Program-axis ddmin against any genome -> divergence-kinds oracle."""
+
     def __init__(
-        self, genome: FuzzProgram, config: OracleConfig, max_attempts: int
+        self,
+        genome: FuzzProgram,
+        kinds_of: Callable[[FuzzProgram], set[str]],
+        max_attempts: int,
+        target_kinds: set[str] | None = None,
+        attempts: int = 0,
     ) -> None:
-        self.config = config
+        self._kinds_of = kinds_of
         self.max_attempts = max_attempts
-        self.attempts = 0
+        self.attempts = attempts
         self.reductions = 0
-        self.target_kinds = self._divergence_kinds(genome)
+        self.target_kinds = (
+            target_kinds if target_kinds is not None else kinds_of(genome)
+        )
         if not self.target_kinds:
-            raise ValueError("shrink_program called on a non-divergent genome")
+            raise ValueError("shrinker called on a non-divergent genome")
         self.best = genome.copy()
 
     # ---------------------------------------------------------- predicate
 
     def _divergence_kinds(self, genome: FuzzProgram) -> set[str]:
-        try:
-            report = run_differential(genome, self.config)
-        except Exception:  # noqa: BLE001 - unrunnable candidate
-            return set()
-        return {d.kind for d in report.divergences}
+        return self._kinds_of(genome)
 
     def _still_diverges(self, candidate: FuzzProgram) -> bool:
         if self.attempts >= self.max_attempts:
@@ -172,3 +197,94 @@ class _Shrinker:
                     candidate = self.best.copy()
                     candidate.ops[index] = {**op, key: {"imm": 0}}
                     self._accept(candidate)
+
+
+# ----------------------------------------------------------- config axis
+
+
+@dataclass
+class ConfigShrinkResult:
+    """Outcome of one (program, config) shrink run."""
+
+    genome: FuzzProgram
+    config: ProcessorConfig
+    attempts: int
+    reductions: int
+    original_ops: int
+    final_ops: int
+    original_fields: int  # config fields departing from default, before
+    final_fields: int  # ... and after
+
+
+def shrink_config_case(
+    genome: FuzzProgram,
+    processor: ProcessorConfig,
+    oracle_config: ConfigOracleConfig | None = None,
+    max_attempts: int = 250,
+) -> ConfigShrinkResult:
+    """Minimize a divergent (program, config) pair on both axes.
+
+    Config first (each restored field removes a whole sampled dimension,
+    the cheapest big win), then the program-axis ddmin under the shrunk
+    config, then the config again — dropping ops can make more fields
+    irrelevant.  Budget is shared across all phases.
+    """
+    oracle_config = oracle_config or ConfigOracleConfig()
+    state = {"attempts": 0}
+
+    def kinds_for(candidate: FuzzProgram, config: ProcessorConfig) -> set[str]:
+        try:
+            report = run_config_differential(candidate, config, oracle_config)
+        except Exception:  # noqa: BLE001 - unrunnable candidate
+            return set()
+        return {d.kind for d in report.divergences}
+
+    target_kinds = kinds_for(genome, processor)
+    if not target_kinds:
+        raise ValueError("shrink_config_case called on a non-divergent pair")
+
+    best_genome = genome.copy()
+    best_config = processor
+    reductions = 0
+
+    def shrink_config_axis() -> None:
+        nonlocal best_config, reductions
+        progressed = True
+        while progressed and state["attempts"] < max_attempts:
+            progressed = False
+            for candidate in shrink_steps(best_config):
+                if state["attempts"] >= max_attempts:
+                    return
+                state["attempts"] += 1
+                if kinds_for(best_genome, candidate) & target_kinds:
+                    best_config = candidate
+                    reductions += 1
+                    progressed = True
+                    break  # restart from the front-most field
+
+    shrink_config_axis()
+
+    if state["attempts"] < max_attempts:
+        shrinker = _Shrinker(
+            best_genome,
+            lambda candidate: kinds_for(candidate, best_config),
+            max_attempts,
+            target_kinds=target_kinds,
+            attempts=state["attempts"],
+        )
+        best_genome = shrinker.run()
+        reductions += shrinker.reductions
+        state["attempts"] = shrinker.attempts
+
+    shrink_config_axis()
+
+    return ConfigShrinkResult(
+        genome=best_genome,
+        config=best_config,
+        attempts=state["attempts"],
+        reductions=reductions,
+        original_ops=len(genome.ops),
+        final_ops=len(best_genome.ops),
+        original_fields=len(config_delta(processor)),
+        final_fields=len(config_delta(best_config)),
+    )

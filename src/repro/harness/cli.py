@@ -22,6 +22,7 @@ Usage::
     python -m repro.harness scenarios import trace.rutb
     python -m repro.harness scenarios characterize loopy-s1-003
     python -m repro.harness fuzz run --seed 1 --iterations 10000 --jobs 4
+    python -m repro.harness fuzz config run --seed 1 --iterations 200
     python -m repro.harness fuzz repro <case-id>  # replay a stored divergence
     python -m repro.harness fuzz corpus ls
 

@@ -117,6 +117,10 @@ def run_experiment(
     are cycle-identical by contract (DESIGN.md §11).
     """
     registry = metrics if metrics is not None else get_registry()
+    # Fail before any emulation or sequencer state is built: sequencers
+    # consume the same geometry (frame cache capacity, fetch width), so
+    # a degenerate config must not get as far as constructing them.
+    config.processor.validate()
     injector = MicroOpInjector()
     injected = injector.inject_trace(trace)
 

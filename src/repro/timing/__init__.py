@@ -3,6 +3,7 @@
 from repro.timing.caches import Cache, CacheHierarchy
 from repro.timing.config import (
     CacheConfig,
+    ConfigError,
     ProcessorConfig,
     default_config,
     large_icache_config,
@@ -29,6 +30,7 @@ __all__ = [
     "Cache",
     "CacheConfig",
     "CacheHierarchy",
+    "ConfigError",
     "FetchBlock",
     "FrameSchedule",
     "FrontEndPredictors",

@@ -9,13 +9,13 @@ class Cache:
     """A single cache level.  ``access`` returns hit/miss and fills on miss."""
 
     def __init__(self, config: CacheConfig) -> None:
-        if config.size_bytes % (config.line_bytes * config.associativity):
-            raise ValueError("cache size must be a multiple of line*assoc")
+        # Structured geometry validation: associativity=0 used to die
+        # with ZeroDivisionError here, and size_bytes=0 silently built a
+        # 0-set cache that crashed at the first probe (`line % 0`).
+        config.validate()
         self.config = config
         self.num_sets = config.size_bytes // (config.line_bytes * config.associativity)
         self._line_shift = config.line_bytes.bit_length() - 1
-        if 1 << self._line_shift != config.line_bytes:
-            raise ValueError("line size must be a power of two")
         # Per-set list of tags in LRU order (front = most recent).
         self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
         self.hits = 0

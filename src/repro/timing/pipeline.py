@@ -134,6 +134,10 @@ class PipelineModel:
     def __init__(self, config: ProcessorConfig, scheduling: str = "template") -> None:
         if scheduling not in ("template", "reference"):
             raise ValueError(f"unknown scheduling mode: {scheduling!r}")
+        # Every simulation entry point funnels through here, so this is
+        # where degenerate geometries die with a field-named ConfigError
+        # instead of a mid-run crash or an infinite issue loop.
+        config.validate()
         self.config = config
         #: 'template' consumes precomputed schedule tuples (fast path);
         #: 'reference' walks Uop/OptUop objects (original implementation).

@@ -1,14 +1,32 @@
-"""Branch prediction: gshare, BTB, and a return-address stack."""
+"""Branch prediction: gshare, BTB, and a return-address stack.
+
+The three structures validate their own sizes (``ConfigError`` naming
+the field) so direct construction is as safe as going through
+:meth:`ProcessorConfig.validate`: a 0-bit history register, a
+non-power-of-two BTB, or a 0-deep RAS is a configuration bug, not a
+smaller predictor.
+"""
 
 from __future__ import annotations
 
-from repro.timing.config import ProcessorConfig
+from repro.timing.config import ConfigError, ProcessorConfig
+
+
+def _require_power_of_two(value: int, field: str) -> None:
+    if value < 1 or value & (value - 1):
+        raise ConfigError(field, f"must be a power of two >= 1, got {value}")
 
 
 class GsharePredictor:
     """Classic gshare: global history XOR pc indexes 2-bit counters."""
 
     def __init__(self, history_bits: int = 18) -> None:
+        if history_bits < 1:
+            raise ConfigError(
+                "ghr_bits",
+                f"must be >= 1 (0 degenerates gshare to one counter), "
+                f"got {history_bits}",
+            )
         self.history_bits = history_bits
         self._mask = (1 << history_bits) - 1
         self._history = 0
@@ -43,6 +61,7 @@ class BranchTargetBuffer:
     """Direct-mapped BTB storing the last target per branch site."""
 
     def __init__(self, entries: int = 4096) -> None:
+        _require_power_of_two(entries, "btb_entries")
         self.entries = entries
         self._table: dict[int, tuple[int, int]] = {}  # index -> (tag, target)
         self.misses = 0
@@ -66,6 +85,8 @@ class ReturnAddressStack:
     """Fixed-depth RAS; overflow wraps (oldest entry lost)."""
 
     def __init__(self, depth: int = 16) -> None:
+        if depth < 1:
+            raise ConfigError("ras_depth", f"must be >= 1, got {depth}")
         self.depth = depth
         self._stack: list[int] = []
 

@@ -1,0 +1,102 @@
+"""Config generator: determinism, validity envelope, round-trip, shrink."""
+
+from repro.fuzz.configgen import (
+    CONFIG_FIELDS,
+    config_delta,
+    config_from_json,
+    config_to_json,
+    generate_config,
+    shrink_steps,
+)
+from repro.timing.config import default_config
+
+
+def test_generation_is_deterministic():
+    assert generate_config(42) == generate_config(42)
+    assert generate_config(1) != generate_config(2)
+
+
+def test_samples_stay_inside_the_validity_envelope():
+    for seed in range(60):
+        config = generate_config(seed)
+        config.validate()  # raises ConfigError if the envelope drifts
+        assert config.window_size >= config.fetch_width
+        for level in (config.icache, config.dcache, config.l2):
+            assert level.num_sets >= 1
+
+
+def test_seeds_cover_distinct_configs():
+    # Not a birthday-paradox guarantee, just a sanity check that the
+    # generator actually varies.
+    configs = {repr(generate_config(seed)) for seed in range(30)}
+    assert len(configs) == 30
+
+
+def test_json_roundtrip_is_exact():
+    for seed in (0, 7, 99):
+        config = generate_config(seed)
+        payload = config_to_json(config)
+        assert payload["version"] == 1
+        assert config_from_json(payload) == config
+
+
+def test_json_covers_every_sampled_field():
+    payload = config_to_json(generate_config(3))
+    for name in CONFIG_FIELDS:
+        assert name in payload
+
+
+def test_config_delta_empty_for_default():
+    assert config_delta(default_config()) == []
+
+
+def test_config_delta_names_departures_in_field_order():
+    config = default_config()
+    config.mul_latency = 8
+    config.fetch_width = 4
+    assert config_delta(config) == ["fetch_width", "mul_latency"]
+
+
+def test_shrink_steps_restore_one_field_each():
+    config = generate_config(11)
+    delta = set(config_delta(config))
+    assert delta  # a random sample should depart somewhere
+    for candidate in shrink_steps(config):
+        candidate.validate()
+        remaining = set(config_delta(candidate))
+        assert len(delta - remaining) == 1  # exactly one field restored
+        assert remaining < delta
+
+
+def test_shrink_steps_empty_at_default():
+    assert shrink_steps(default_config()) == []
+
+
+def test_shrink_steps_skip_cross_field_violations():
+    # window_size=4 is valid with fetch_width=4, but restoring
+    # fetch_width to the default 8 would leave window < fetch; that
+    # candidate must be skipped, leaving only the window restore.
+    config = default_config()
+    config.fetch_width = 4
+    config.window_size = 4
+    candidates = shrink_steps(config)
+    assert len(candidates) == 1
+    assert candidates[0].window_size == default_config().window_size
+    assert candidates[0].fetch_width == 4
+
+
+def test_shrink_steps_restore_cache_levels_as_a_unit():
+    config = default_config()
+    config.dcache.size_bytes = 1024
+    config.dcache.hit_latency = 4
+    (candidate,) = shrink_steps(config)
+    assert candidate.dcache == default_config().dcache
+    assert config_delta(candidate) == []
+
+
+def test_shrink_candidates_do_not_alias_the_original():
+    config = generate_config(5)
+    original = config_to_json(config)
+    for candidate in shrink_steps(config):
+        candidate.icache.size_bytes *= 2  # mutate the copy
+    assert config_to_json(config) == original

@@ -74,3 +74,69 @@ def test_list_cases_labels(tmp_path):
     (case,) = corpus.list_cases()
     assert "assert-fired" in case["label"]
     assert f"seed={genome.seed}" in case["label"]
+
+
+# -------------------------------------------------- (program, config) cases
+
+
+def _config_divergence():
+    from repro.fuzz.config_oracle import ConfigDivergence
+
+    return ConfigDivergence(kind="schedule-ab", frontend="RP", detail="x")
+
+
+def test_config_case_roundtrip(tmp_path):
+    from repro.fuzz.configgen import config_to_json, generate_config
+
+    corpus = FuzzCorpus(ArtifactStore(tmp_path))
+    genome = generate_program(8)
+    config_json = config_to_json(generate_config(8))
+    case_id = corpus.save_config_case(
+        genome,
+        config_json,
+        [_config_divergence()],
+        found={"campaign_seed": 1, "index": 3, "config_seed": 77},
+    )
+    case = corpus.load_case(case_id)
+    assert case["format"] == 2
+    assert case["program"] == program_to_json(genome)
+    assert case["config"] == config_json
+    assert case["found"]["config_seed"] == 77
+    assert case["divergences"][0]["kind"] == "schedule-ab"
+    assert "config" in next(
+        c["label"] for c in corpus.list_cases() if c["id"] == case_id
+    )
+
+
+def test_same_genome_different_configs_are_distinct_cases(tmp_path):
+    from repro.fuzz.configgen import config_to_json, generate_config
+
+    corpus = FuzzCorpus(ArtifactStore(tmp_path))
+    genome = generate_program(9)
+    id_a = corpus.save_config_case(
+        genome, config_to_json(generate_config(1)), [_config_divergence()]
+    )
+    id_b = corpus.save_config_case(
+        genome, config_to_json(generate_config(2)), [_config_divergence()]
+    )
+    assert id_a != id_b
+    # ... and both are distinct from the program-only case of the same
+    # genome.
+    id_c = corpus.save_case(genome, [_divergence()])
+    assert len({id_a, id_b, id_c}) == 3
+    assert len(corpus.list_cases()) == 3
+
+
+def test_unknown_format_still_rejected(tmp_path):
+    import json as json_mod
+
+    from repro.artifacts.store import KIND_FUZZ, content_key
+
+    store = ArtifactStore(tmp_path)
+    case_id = content_key("fuzz", {"bogus": True})
+    store.put_bytes(
+        KIND_FUZZ, case_id, json_mod.dumps({"format": 99}).encode()
+    )
+    corpus = FuzzCorpus(store)
+    with pytest.raises(CorpusError, match="format"):
+        corpus.load_case(case_id)

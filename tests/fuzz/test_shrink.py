@@ -10,9 +10,12 @@ simplification, attempt bounding — from optimizer behavior.
 import pytest
 
 import repro.fuzz.shrink as shrink_mod
+from repro.fuzz.config_oracle import ConfigDivergence, ConfigPairReport
+from repro.fuzz.configgen import config_delta
 from repro.fuzz.generator import FuzzProgram
 from repro.fuzz.oracle import Divergence, ProgramReport
-from repro.fuzz.shrink import shrink_program
+from repro.fuzz.shrink import shrink_config_case, shrink_program
+from repro.timing.config import default_config
 
 
 def _genome(ops):
@@ -125,3 +128,71 @@ def test_unrunnable_candidates_count_as_non_divergent(monkeypatch):
     # plus one filler survive.
     assert result.final_ops == 2
     assert any(op.get("marker") for op in result.genome.ops)
+
+
+# ----------------------------------------------------------- config axis
+
+
+def _config_marker_oracle(monkeypatch):
+    """Synthetic config oracle: diverges iff a marker op remains AND the
+    config still carries the guilty memory_latency=400 knob."""
+    calls = {"count": 0}
+
+    def fake_run(genome, processor, config=None, metrics=None):
+        calls["count"] += 1
+        report = ConfigPairReport(program_seed=genome.seed)
+        if (
+            any(op.get("marker") for op in genome.ops)
+            and processor.memory_latency == 400
+        ):
+            report.divergences.append(
+                ConfigDivergence(
+                    kind="schedule-ab", frontend="IC", detail="synthetic"
+                )
+            )
+        return report
+
+    monkeypatch.setattr(shrink_mod, "run_config_differential", fake_run)
+    return calls
+
+
+def test_config_shrink_isolates_the_guilty_knob_and_op(monkeypatch):
+    _config_marker_oracle(monkeypatch)
+    processor = default_config()
+    processor.memory_latency = 400  # guilty
+    processor.mul_latency = 8  # irrelevant
+    processor.fetch_width = 4  # irrelevant
+    genome = _genome(
+        [{"kind": "cdq"} for _ in range(5)]
+        + [{"kind": "cdq", "marker": True}]
+        + [{"kind": "cdq"} for _ in range(5)]
+    )
+    result = shrink_config_case(genome, processor)
+    assert result.final_ops == 1
+    assert result.genome.ops[0].get("marker")
+    assert config_delta(result.config) == ["memory_latency"]
+    assert result.original_fields == 3
+    assert result.final_fields == 1
+    assert result.reductions > 0
+
+
+def test_config_shrink_rejects_clean_pair(monkeypatch):
+    _config_marker_oracle(monkeypatch)
+    genome = _genome([{"kind": "cdq"}])  # no marker
+    with pytest.raises(ValueError, match="non-divergent"):
+        shrink_config_case(genome, default_config())
+
+
+def test_config_shrink_respects_the_attempt_budget(monkeypatch):
+    calls = _config_marker_oracle(monkeypatch)
+    processor = default_config()
+    processor.memory_latency = 400
+    processor.mul_latency = 8
+    genome = _genome(
+        [{"kind": "cdq", "marker": True}]
+        + [{"kind": "cdq"} for _ in range(30)]
+    )
+    result = shrink_config_case(genome, processor, max_attempts=10)
+    assert result.attempts <= 10
+    # One classifying call plus at most max_attempts candidate calls.
+    assert calls["count"] <= 11
