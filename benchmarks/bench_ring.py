@@ -1,0 +1,38 @@
+"""Hash-ring routing throughput: cell-key lookups/sec.
+
+The gateway computes one ring lookup per cell at planning time (and
+re-plans on every eviction), so lookups/sec bounds how fast a huge
+matrix can be sharded.  Also records the remap fraction for a node
+join on an 8-node ring — the locality number the consistent-hashing
+design buys (vs 0.5 for naive modulo placement).
+"""
+
+from repro.cluster.ring import HashRing
+
+NODES = [f"10.0.0.{i}:9400" for i in range(1, 9)]
+KEYS = [f"cell:w{i % 40}:cfg{i % 7}:None:{i}" for i in range(5000)]
+
+
+def _route_all(ring: HashRing) -> int:
+    return sum(1 for key in KEYS if ring.owner(key) is not None)
+
+
+def test_bench_ring_lookup(benchmark, bench_records):
+    ring = HashRing(NODES)
+    routed = benchmark(_route_all, ring)
+    assert routed == len(KEYS)
+
+    before = HashRing(NODES)
+    after = HashRing(NODES)
+    after.add("10.0.1.99:9400")
+    moved = sum(1 for k in KEYS if before.owner(k) != after.owner(k))
+    remap_fraction = moved / len(KEYS)
+    assert remap_fraction < 0.3  # ~1/9 expected; far under modulo's 0.5
+
+    lookups_per_sec = len(KEYS) / benchmark.stats.stats.mean
+    bench_records["ring_routing"] = {
+        "nodes": len(NODES),
+        "keys": len(KEYS),
+        "lookups_per_sec": round(lookups_per_sec),
+        "join_remap_fraction": round(remap_fraction, 4),
+    }

@@ -149,6 +149,27 @@ def result_key(
     )
 
 
+def cell_key(
+    workload: str,
+    config_name: str,
+    scale: int | None = None,
+    seed: int = 1,
+) -> str:
+    """The store key of one *named*-config cell (the cluster routing key).
+
+    Resolves ``config_name`` through the harness config table and keys
+    exactly like :func:`result_key`, so the cluster gateway's hash ring
+    places a cell on the node whose artifact store already holds its
+    result.  Raises :class:`KeyError` for unknown names.
+    """
+    from repro.harness.experiment import CONFIGS
+
+    config = CONFIGS.get(config_name)
+    if config is None:
+        raise KeyError(f"unknown config {config_name!r}")
+    return result_key(workload, config, scale, seed)
+
+
 # ------------------------------------------------------------------- tasks
 
 

@@ -1,0 +1,34 @@
+"""repro.cluster: sharded multi-node simulation gateway.
+
+Scales :mod:`repro.service` from one warm pool to a fleet.  A
+**gateway** accepts the existing JSON-lines protocol (plus a minimal
+HTTP/1.1 JSON adapter on the same port) and shards incoming cells
+across N runner nodes — each an ordinary ``python -m repro.harness
+serve`` instance — via a consistent hash ring keyed on the
+artifact-store cell key, so a resubmitted cell lands on the node whose
+store (and in-worker caches) already hold it.
+
+Pieces, one module each:
+
+* :mod:`repro.cluster.ring` — the consistent hash ring (virtual nodes,
+  deterministic SHA-256 placement, bounded remap on join/leave);
+* :mod:`repro.cluster.nodes` — per-runner state plus the async
+  JSON-lines client the gateway drives nodes with;
+* :mod:`repro.cluster.gateway` — admission, slice planning, per-node
+  dispatch workers, work stealing, health probing/eviction, and
+  cluster-wide metrics aggregation;
+* :mod:`repro.cluster.httpfront` — the zero-dependency HTTP/1.1 JSON
+  adapter (connections are protocol-sniffed, so one port serves both);
+* :mod:`repro.cluster.spawn` — runner subprocess management for
+  ``cluster spawn``;
+* :mod:`repro.cluster.cli` — the ``cluster`` subcommand family.
+
+The load-bearing correctness gate: a cell served through the gateway is
+byte-identical to the serial path — the gateway never re-serializes
+``entry`` payloads, it forwards the node's canonical
+:func:`repro.metrics.ledger.result_entry` dicts verbatim.
+"""
+
+from repro.cluster.ring import HashRing
+
+__all__ = ["HashRing"]

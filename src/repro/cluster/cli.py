@@ -1,0 +1,198 @@
+"""The ``cluster`` subcommand family.
+
+Usage::
+
+    python -m repro.harness cluster serve --nodes 127.0.0.1:9417,127.0.0.1:9418
+    python -m repro.harness cluster spawn --runners 2 --workers-per-runner 2
+    python -m repro.harness submit fig6 --port <gateway port>   # unchanged
+
+``serve`` fronts already-running runner nodes; ``spawn`` stands up N
+runner subprocesses first (ephemeral ports, discovered from their
+``listening on`` lines) and tears them down after the gateway drains.
+Both print a parseable ``[repro.cluster] listening on host:port`` line
+as soon as the gateway socket binds, and ``spawn`` adds a
+``runner pids: ...`` line so wrappers can assert a clean shutdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_gateway_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="gateway TCP port (default 0 = pick an ephemeral port)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=None,
+        help="virtual nodes per runner on the hash ring (default 64)",
+    )
+    parser.add_argument(
+        "--max-slice", type=int, default=8,
+        help="max cells per dispatched slice (steal/requeue granularity)",
+    )
+    parser.add_argument(
+        "--max-jobs", type=int, default=256,
+        help="unfinished jobs admitted before shedding with queue_full",
+    )
+    parser.add_argument(
+        "--steal-watermark", type=int, default=1,
+        help="pending slices a node must exceed before idle peers steal",
+    )
+    parser.add_argument(
+        "--probe-interval", type=float, default=2.0,
+        help="seconds between node health probes",
+    )
+    parser.add_argument(
+        "--max-failures", type=int, default=2,
+        help="consecutive failed probes before a node is evicted",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=60.0,
+        help="seconds to wait for in-flight jobs on SIGTERM",
+    )
+
+
+def _gateway_config(args, nodes: tuple[str, ...]):
+    from repro.cluster.gateway import GatewayConfig
+    from repro.cluster.ring import DEFAULT_REPLICAS
+
+    return GatewayConfig(
+        host=args.host,
+        port=args.port,
+        nodes=nodes,
+        replicas=args.replicas if args.replicas else DEFAULT_REPLICAS,
+        max_jobs=args.max_jobs,
+        max_slice=args.max_slice,
+        steal_watermark=args.steal_watermark,
+        probe_interval=args.probe_interval,
+        max_failures=args.max_failures,
+        drain_timeout=args.drain_timeout,
+    )
+
+
+def _announce(gateway) -> None:
+    print(
+        f"[repro.cluster] listening on {gateway.config.host}:{gateway.port} "
+        f"(nodes={','.join(gateway.nodes)})",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def _run_gateway(args, nodes: tuple[str, ...]) -> int:
+    import asyncio
+    import logging
+
+    from repro.cluster.gateway import gateway_forever
+    from repro.metrics import get_registry
+
+    logging.basicConfig(
+        level=logging.INFO, format="[%(name)s] %(message)s", stream=sys.stderr
+    )
+    asyncio.run(
+        gateway_forever(
+            _gateway_config(args, nodes),
+            registry=get_registry(),
+            on_bound=_announce,
+        )
+    )
+    return 0
+
+
+def serve_cluster_main(argv: list[str]) -> int:
+    from repro.cluster.nodes import parse_address
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness cluster serve",
+        description="Front already-running `serve` nodes with a sharding "
+        "gateway (JSON lines + HTTP on one port; drain with SIGTERM).",
+    )
+    parser.add_argument(
+        "--nodes", required=True, metavar="HOST:PORT,...",
+        help="comma-separated runner addresses",
+    )
+    _add_gateway_flags(parser)
+    args = parser.parse_args(argv)
+    nodes = tuple(n for n in args.nodes.split(",") if n)
+    if not nodes:
+        parser.error("--nodes needs at least one host:port")
+    for node in nodes:
+        try:
+            parse_address(node)
+        except ValueError as exc:
+            parser.error(str(exc))
+    return _run_gateway(args, nodes)
+
+
+def spawn_cluster_main(argv: list[str]) -> int:
+    from repro.cluster.spawn import SpawnError, spawn_runners, terminate_runners
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness cluster spawn",
+        description="Spawn N runner subprocesses on ephemeral ports and "
+        "front them with a gateway; SIGTERM drains everything.",
+    )
+    parser.add_argument(
+        "--runners", type=int, default=2,
+        help="runner subprocesses to spawn (each its own warm pool)",
+    )
+    parser.add_argument(
+        "--workers-per-runner", type=int, default=2,
+        help="warm worker processes inside each runner",
+    )
+    parser.add_argument(
+        "--runner-max-queue", type=int, default=64,
+        help="per-runner bounded queue depth",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache root; each runner stores under its own "
+        "runner{i} subdirectory (warm hits stay node-local)",
+    )
+    parser.add_argument(
+        "--runner-stderr", action="store_true",
+        help="forward runner stderr through the gateway's stderr",
+    )
+    _add_gateway_flags(parser)
+    args = parser.parse_args(argv)
+    if args.runners < 1:
+        parser.error("--runners must be >= 1")
+
+    try:
+        runners = spawn_runners(
+            args.runners,
+            workers=args.workers_per_runner,
+            max_queue=args.runner_max_queue,
+            cache_dir=args.cache_dir,
+            forward_stderr=args.runner_stderr,
+        )
+    except SpawnError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        "[repro.cluster] runner pids: "
+        + " ".join(str(runner.pid) for runner in runners),
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        return _run_gateway(args, tuple(r.address for r in runners))
+    finally:
+        terminate_runners(runners)
+        print("[repro.cluster] runners terminated", file=sys.stderr, flush=True)
+
+
+def cluster_main(argv: list[str]) -> int:
+    if argv and argv[0] == "serve":
+        return serve_cluster_main(argv[1:])
+    if argv and argv[0] == "spawn":
+        return spawn_cluster_main(argv[1:])
+    print(
+        "usage: python -m repro.harness cluster {serve,spawn} ...",
+        file=sys.stderr,
+    )
+    return 2

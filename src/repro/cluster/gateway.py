@@ -1,0 +1,874 @@
+"""The cluster gateway: admission, routing, stealing, eviction.
+
+One gateway fronts N runner nodes (each an ordinary ``repro.service``
+server).  A submitted job's cells are planned into **slices** — per-node
+groups of at most ``max_slice`` cells, keyed by the consistent hash
+ring over each cell's artifact-store key — and every node's dispatch
+worker streams its slices to its runner over the JSON-lines protocol,
+forwarding each ``cell`` entry verbatim (byte identity with the serial
+path is inherited from the nodes, never re-derived here).
+
+Scheduling dynamics:
+
+* **locality-first routing** — the ring places a cell on the node that
+  computed it last time, so warm artifact-store hits stay local; the
+  ``cluster.cells_routed`` / ``cluster.cells_routed_owner`` counters
+  measure exactly this (the acceptance test asserts ≥90% on a warm
+  resubmission);
+* **work stealing** — a node worker whose pending deque has drained
+  below the watermark steals one *batch*-class slice from the back of
+  the deepest queue, trading locality for tail latency only when it
+  would otherwise idle;
+* **health/eviction** — periodic ``health`` probes; after
+  ``max_failures`` consecutive failures (or any transport error while
+  dispatching) a node leaves the ring, its pending slices replan onto
+  the survivors, and an in-flight slice requeues once — finished cells
+  kept — before its job fails.  A node that probes healthy again
+  rejoins the ring;
+* **shed backoff** — a node answering ``queue_full`` keeps the slice on
+  the gateway, which retries after the node's suggested
+  ``retry_after`` (jittered) instead of failing or hot-looping.
+
+The gateway speaks protocol v1 unchanged (``submit`` via
+:class:`repro.service.client.Client` works against it as-is) and sniffs
+HTTP request lines on the same port, handing those connections to
+:mod:`repro.cluster.httpfront`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.nodes import (
+    NodeError,
+    NodeLink,
+    NodeShed,
+    NodeUnreachable,
+    RunnerNode,
+)
+from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
+from repro.metrics import MetricsRegistry, get_registry
+from repro.service import jobs as jobstates
+from repro.service.jobs import Job, JobTable
+from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_DRAINING,
+    ERR_QUEUE_FULL,
+    ERR_UNKNOWN_JOB,
+    ERR_UNSUPPORTED_VERSION,
+    PRIORITIES,
+    CancelledResponse,
+    CancelRequest,
+    CellResult,
+    CellSpec,
+    ErrorResponse,
+    HealthRequest,
+    HealthResponse,
+    JobDone,
+    MetricsRequest,
+    MetricsResponse,
+    ProtocolError,
+    ResultRequest,
+    ResultResponse,
+    StatusRequest,
+    StatusResponse,
+    SubmitRequest,
+    SubmittedResponse,
+    decode_request,
+    encode_message,
+)
+
+log = logging.getLogger("repro.cluster")
+
+DEFAULT_PORT = 9427
+
+_LINE_LIMIT = 4 * 1024 * 1024
+
+#: Counters pre-touched at construction so an aggregated ``metrics``
+#: response shows every cluster counter (at zero) from the first request.
+_COUNTERS = (
+    "cluster.jobs_submitted",
+    "cluster.jobs_done",
+    "cluster.jobs_failed",
+    "cluster.jobs_timeout",
+    "cluster.jobs_cancelled",
+    "cluster.sheds",
+    "cluster.cells_routed",
+    "cluster.cells_routed_owner",
+    "cluster.cells_done",
+    "cluster.cells_cached",
+    "cluster.steals",
+    "cluster.cells_stolen",
+    "cluster.requeues",
+    "cluster.evictions",
+    "cluster.rejoins",
+    "cluster.node_sheds",
+)
+
+_HTTP_METHODS = (
+    b"GET ", b"POST ", b"PUT ", b"DELETE ", b"HEAD ", b"OPTIONS ", b"PATCH ",
+)
+
+
+def looks_like_http(first_line: bytes) -> bool:
+    """A request line like ``GET /healthz HTTP/1.1`` (vs a JSON line)."""
+    return first_line.startswith(_HTTP_METHODS) and b" HTTP/1." in first_line
+
+
+def ring_key(spec: CellSpec) -> str:
+    """The routing key for one cell — the artifact-store cell key.
+
+    Experiment cells route on :func:`repro.artifacts.runner.cell_key`
+    (the result key the nodes' stores use), so a cell lands on the node
+    whose store computed it.  Config-fuzz cells have no store entry;
+    their seed material is the key, which still spreads a campaign
+    evenly and deterministically.  Unresolvable cells fall back to a
+    literal key — the owning node rejects them with the real error.
+    """
+    if spec.kind == "config_fuzz":
+        payload = spec.payload or {}
+        return (
+            f"configfuzz:{payload.get('campaign_seed')}:{payload.get('index')}"
+        )
+    from repro.artifacts.runner import cell_key
+
+    try:
+        return cell_key(spec.workload, spec.config, spec.scale, spec.seed)
+    except (KeyError, ValueError):
+        return f"cell:{spec.workload}:{spec.config}:{spec.scale}:{spec.seed}"
+
+
+@dataclass
+class GatewayConfig:
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    nodes: tuple[str, ...] = ()
+    replicas: int = DEFAULT_REPLICAS
+    max_jobs: int = 256  # unfinished jobs admitted before shedding
+    max_slice: int = 8  # cells per slice (steal/requeue granularity)
+    node_timeout: float | None = 600.0  # per-line read deadline on node links
+    probe_interval: float = 2.0
+    probe_timeout: float = 10.0
+    max_failures: int = 2  # consecutive failed probes before eviction
+    steal_watermark: int = 1  # steal when own backlog drops below this
+    slice_retries: int = 1  # in-flight requeues per slice before job failure
+    drain_timeout: float = 60.0
+
+
+@dataclass
+class Slice:
+    """One node's share of a job: (original index, spec, ring key) cells."""
+
+    job: Job
+    cells: list[tuple[int, CellSpec, str]]
+    retries: int = 0
+
+    @property
+    def priority(self) -> str:
+        return self.job.priority
+
+
+@dataclass
+class _JobState:
+    """Gateway-side extras the shared Job dataclass does not carry."""
+
+    outstanding: int = 0  # slices planned but not yet fully handled
+    keys: list[str] = field(default_factory=list)  # per-cell ring keys
+
+
+class Gateway:
+    """One running cluster gateway."""
+
+    def __init__(
+        self, config: GatewayConfig, registry: MetricsRegistry | None = None
+    ) -> None:
+        if not config.nodes:
+            raise ValueError("gateway needs at least one runner node")
+        self.config = config
+        self.registry = registry if registry is not None else get_registry()
+        self.table = JobTable()
+        self.nodes: dict[str, RunnerNode] = {
+            address: RunnerNode(address) for address in config.nodes
+        }
+        self.ring = HashRing(list(config.nodes), replicas=config.replicas)
+        self.draining = False
+        self.started_at = time.monotonic()
+        self.port: int | None = None
+        self._state: dict[str, _JobState] = {}
+        self._server: asyncio.base_events.Server | None = None
+        self._workers: list[asyncio.Task] = []
+        self._health_task: asyncio.Task | None = None
+        self._stopping = False
+        self._job_finished = asyncio.Event()
+        self._closed = asyncio.Event()
+        self._shutdown_task: asyncio.Task | None = None
+        for name in _COUNTERS:
+            self.registry.counter(name)
+        self.registry.gauge("cluster.nodes_up").set(len(self.nodes))
+
+    # ----------------------------------------------------------- lifecycle
+
+    async def start(self, on_bound=None) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=_LINE_LIMIT,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info(
+            "listening on %s:%d (nodes=%s)",
+            self.config.host, self.port, ",".join(self.nodes),
+        )
+        if on_bound is not None:
+            on_bound(self)
+        loop = asyncio.get_running_loop()
+        self._workers = [
+            loop.create_task(self._node_worker(node))
+            for node in self.nodes.values()
+        ]
+        self._health_task = loop.create_task(self._health_loop())
+
+    def request_shutdown(self) -> None:
+        """Signal-handler entry: start one drain-and-stop task."""
+        if self._shutdown_task is None:
+            self._shutdown_task = asyncio.get_running_loop().create_task(
+                self.shutdown()
+            )
+
+    async def shutdown(self) -> None:
+        self.draining = True
+        unfinished = self.table.unfinished()
+        log.info("draining: %d unfinished job(s)", len(unfinished))
+        deadline = time.monotonic() + self.config.drain_timeout
+        while self.table.unfinished():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                log.warning(
+                    "drain timeout (%.0fs) expired; failing leftover jobs",
+                    self.config.drain_timeout,
+                )
+                for job in self.table.unfinished():
+                    self._fail_job(
+                        job, "gateway shut down before the job finished"
+                    )
+                break
+            self._job_finished.clear()
+            try:
+                await asyncio.wait_for(self._job_finished.wait(), remaining)
+            except asyncio.TimeoutError:
+                pass  # silent-ok: loop re-checks the deadline and leftovers
+        self._stopping = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+        for task in self._workers:
+            task.cancel()
+        await asyncio.gather(
+            *self._workers,
+            *([self._health_task] if self._health_task else []),
+            return_exceptions=True,
+        )
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._closed.set()
+        log.info("shutdown complete")
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    # --------------------------------------------------------- connections
+
+    async def _send(self, writer: asyncio.StreamWriter, message) -> None:
+        writer.write(encode_message(message))
+        await writer.drain()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            line = await reader.readline()
+            if line and looks_like_http(line):
+                from repro.cluster.httpfront import handle_http
+
+                await handle_http(self, reader, writer, line)
+                return
+            while line:
+                try:
+                    request = decode_request(line)
+                except ProtocolError as exc:
+                    await self._send(
+                        writer, ErrorResponse(code=exc.code, message=str(exc))
+                    )
+                    if exc.code == ERR_UNSUPPORTED_VERSION:
+                        break
+                    line = await reader.readline()
+                    continue
+                if isinstance(request, SubmitRequest):
+                    await self._handle_submit(request, writer)
+                elif isinstance(request, StatusRequest):
+                    await self._send(writer, self.status(request.job_id))
+                elif isinstance(request, ResultRequest):
+                    await self._send(writer, self.result(request.job_id))
+                elif isinstance(request, CancelRequest):
+                    await self._send(writer, self.cancel(request.job_id))
+                elif isinstance(request, HealthRequest):
+                    await self._send(writer, self.health())
+                elif isinstance(request, MetricsRequest):
+                    await self._send(writer, await self.metrics())
+                line = await reader.readline()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # silent-ok: client went away; its job (if any) continues
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # silent-ok: peer already tore the socket down
+
+    async def _handle_submit(
+        self, request: SubmitRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        admitted = self.admit(request)
+        if isinstance(admitted, ErrorResponse):
+            await self._send(writer, admitted)
+            return
+        job = admitted
+        stream: asyncio.Queue = asyncio.Queue()
+        job.subscribe(stream)
+        try:
+            await self._send(
+                writer,
+                SubmittedResponse(
+                    job_id=job.job_id, cells_total=len(job.cells), position=0
+                ),
+            )
+            while True:
+                message = await stream.get()
+                await self._send(writer, message)
+                if isinstance(message, JobDone):
+                    break
+        finally:
+            job.unsubscribe(stream)
+
+    # ----------------------------------------------------------- admission
+
+    def admit(self, request: SubmitRequest) -> Job | ErrorResponse:
+        """Validate, create the job, and plan its slices onto the ring."""
+        if self.draining:
+            return ErrorResponse(
+                code=ERR_DRAINING, message="gateway is draining; resubmit later"
+            )
+        if not request.cells:
+            return ErrorResponse(
+                code=ERR_BAD_REQUEST, message="submit carries no cells"
+            )
+        if request.priority not in PRIORITIES:
+            return ErrorResponse(
+                code=ERR_BAD_REQUEST,
+                message=f"unknown priority {request.priority!r} "
+                f"(choose from {list(PRIORITIES)})",
+            )
+        active = len(self.table.unfinished())
+        if active >= self.config.max_jobs:
+            self.registry.counter("cluster.sheds").inc()
+            return ErrorResponse(
+                code=ERR_QUEUE_FULL,
+                message=f"gateway at capacity ({active}/{self.config.max_jobs} "
+                "jobs)",
+                queue_depth=active,
+                retry_after=round(min(10.0, 0.5 + 0.05 * active), 2),
+            )
+        if not any(node.up for node in self.nodes.values()):
+            return ErrorResponse(
+                code=ERR_BAD_REQUEST, message="no runner nodes available"
+            )
+        job = self.table.create(
+            client=request.client or "anonymous",
+            cells=list(request.cells),
+            priority=request.priority,
+            timeout=request.timeout,
+        )
+        state = self._state[job.job_id] = _JobState(
+            keys=[ring_key(spec) for spec in request.cells]
+        )
+        job.state = jobstates.RUNNING
+        job.started_at = time.monotonic()
+        self.registry.counter("cluster.jobs_submitted").inc()
+        cells = [
+            (index, spec, state.keys[index])
+            for index, spec in enumerate(job.cells)
+        ]
+        self._plan(job, cells, retries=0)
+        return job
+
+    # ------------------------------------------------------------ planning
+
+    def _plan(
+        self,
+        job: Job,
+        cells: list[tuple[int, CellSpec, str]],
+        retries: int,
+    ) -> None:
+        """Group cells by ring owner, chunk to max_slice, and enqueue."""
+        per_node: dict[str, list[tuple[int, CellSpec, str]]] = {}
+        for index, spec, key in cells:
+            owner = self.ring.owner(key)
+            if owner is None:
+                self._fail_job(job, "no runner nodes available")
+                return
+            per_node.setdefault(owner, []).append((index, spec, key))
+        for address, node_cells in per_node.items():
+            node = self.nodes[address]
+            for start in range(0, len(node_cells), self.config.max_slice):
+                chunk = node_cells[start : start + self.config.max_slice]
+                self._enqueue(node, Slice(job=job, cells=chunk, retries=retries))
+
+    def _enqueue(self, node: RunnerNode, slice_: Slice) -> None:
+        state = self._state.get(slice_.job.job_id)
+        if state is not None:
+            state.outstanding += 1
+        node.pending.append(slice_)
+        for peer in self.nodes.values():
+            peer.kick.set()  # idle peers may steal this
+
+    # ------------------------------------------------------ node dispatch
+
+    async def _node_worker(self, node: RunnerNode) -> None:
+        try:
+            while not self._stopping:
+                slice_ = await self._next_slice(node)
+                if slice_ is None:
+                    continue
+                try:
+                    await self._run_slice(node, slice_)
+                finally:
+                    self._slice_done(slice_)
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # pragma: no cover - worker must never die silently
+            log.exception("node worker %s crashed", node.address)
+            raise
+
+    async def _next_slice(self, node: RunnerNode) -> Slice | None:
+        if not node.up:
+            await asyncio.sleep(0.2)  # evicted: idle until a probe rejoins it
+            return None
+        if node.pending:
+            return node.pending.popleft()
+        # Backlog has drained below the watermark (empty, in fact — the
+        # worker only gets here with nothing of its own left): steal.
+        victim = self._steal_victim(node)
+        if victim is not None:
+            slice_ = victim.pending.pop()  # back of the deque: coldest work
+            self.registry.counter("cluster.steals").inc()
+            self.registry.counter("cluster.cells_stolen").inc(len(slice_.cells))
+            log.info(
+                "%s stole a %d-cell slice from %s",
+                node.address, len(slice_.cells), victim.address,
+            )
+            return slice_
+        node.kick.clear()
+        try:
+            # Bounded wait so steal opportunities (and eviction-driven
+            # replans) are re-checked even without an enqueue kick.
+            await asyncio.wait_for(node.kick.wait(), timeout=0.5)
+        except asyncio.TimeoutError:
+            pass  # silent-ok: periodic re-check is the point
+        return None
+
+    def _steal_victim(self, thief: RunnerNode) -> RunnerNode | None:
+        """Deepest up-node queue holding a stealable batch-class slice."""
+        victim: RunnerNode | None = None
+        for node in self.nodes.values():
+            if node is thief or not node.up:
+                continue
+            if len(node.pending) <= self.config.steal_watermark:
+                continue
+            if node.pending[-1].priority != "batch":
+                continue  # interactive work keeps its locality
+            if victim is None or len(node.pending) > len(victim.pending):
+                victim = node
+        return victim
+
+    async def _run_slice(self, node: RunnerNode, slice_: Slice) -> None:
+        job = slice_.job
+        if job.finished:
+            return
+        todo = [
+            (index, spec, key)
+            for index, spec, key in slice_.cells
+            if job.entries[index] is None
+        ]
+        if not todo:
+            return
+        node.inflight = slice_
+        try:
+            self.registry.counter("cluster.cells_routed").inc(len(todo))
+            owner_hits = sum(
+                1 for _, _, key in todo if self.ring.owner(key) == node.address
+            )
+            self.registry.counter("cluster.cells_routed_owner").inc(owner_hits)
+            index_map = {
+                local: index for local, (index, _, _) in enumerate(todo)
+            }
+
+            def on_cell(cell: CellResult) -> None:
+                original = index_map.get(cell.index)
+                if original is not None:
+                    self._deliver(job, original, cell)
+
+            link = node.link(timeout=self.config.node_timeout)
+            done = await self._submit_with_backoff(
+                link, job, [spec for _, spec, _ in todo], on_cell
+            )
+            if done.state != jobstates.DONE:
+                self._fail_job(
+                    job,
+                    done.error
+                    or f"node {node.address} finished a slice as {done.state}",
+                    state=done.state
+                    if done.state in (jobstates.TIMEOUT,)
+                    else jobstates.FAILED,
+                )
+        except NodeUnreachable as exc:
+            log.warning("node %s failed mid-slice: %s", node.address, exc)
+            self._evict(node, str(exc))
+            self._requeue_slice(slice_, reason=str(exc))
+        except NodeError as exc:
+            # A structured rejection (bad_request, draining...) would fail
+            # identically anywhere: fail the job with the node's error.
+            self._fail_job(job, f"node {node.address}: {exc}")
+        finally:
+            node.inflight = None
+
+    async def _submit_with_backoff(
+        self, link: NodeLink, job: Job, specs: list[CellSpec], on_cell
+    ) -> JobDone:
+        """Submit one slice, backing off on ``queue_full`` sheds."""
+        while True:
+            try:
+                return await link.submit(
+                    specs,
+                    priority=job.priority,
+                    timeout=job.timeout,
+                    client=f"gateway/{job.client}",
+                    on_cell=on_cell,
+                )
+            except NodeShed as exc:
+                self.registry.counter("cluster.node_sheds").inc()
+                delay = min(10.0, exc.retry_after) * (0.5 + random.random() / 2)
+                log.info(
+                    "node %s shed a slice; retrying in %.2fs",
+                    link.address, delay,
+                )
+                await asyncio.sleep(delay)
+                if job.finished:
+                    return JobDone(job_id=job.job_id, state=job.state)
+
+    # ------------------------------------------------- failure / requeue
+
+    def _requeue_slice(self, slice_: Slice, reason: str) -> None:
+        """Requeue an in-flight slice once; fail its job on the second loss."""
+        job = slice_.job
+        if job.finished:
+            return
+        remaining = [
+            (index, spec, key)
+            for index, spec, key in slice_.cells
+            if job.entries[index] is None
+        ]
+        if not remaining:
+            return
+        if slice_.retries >= self.config.slice_retries:
+            self._fail_job(
+                job,
+                f"slice lost {slice_.retries + 1} times "
+                f"(last: {reason}); giving up",
+            )
+            return
+        self.registry.counter("cluster.requeues").inc()
+        self._plan(job, remaining, retries=slice_.retries + 1)
+
+    def _evict(self, node: RunnerNode, reason: str) -> None:
+        """Remove a failed node from the ring; replan its pending work."""
+        if not node.up:
+            return
+        node.up = False
+        node.consecutive_failures = max(
+            node.consecutive_failures, self.config.max_failures
+        )
+        self.ring.remove(node.address)
+        self.registry.counter("cluster.evictions").inc()
+        self.registry.gauge("cluster.nodes_up").set(
+            sum(1 for n in self.nodes.values() if n.up)
+        )
+        log.warning("evicting node %s: %s", node.address, reason)
+        pending = list(node.pending)
+        node.pending.clear()
+        for slice_ in pending:
+            self._slice_done(slice_)
+            if not slice_.job.finished:
+                remaining = [
+                    (index, spec, key)
+                    for index, spec, key in slice_.cells
+                    if slice_.job.entries[index] is None
+                ]
+                if remaining:
+                    # Never dispatched: rerouting is not a retry.
+                    self._plan(slice_.job, remaining, retries=slice_.retries)
+
+    def _rejoin(self, node: RunnerNode) -> None:
+        node.up = True
+        node.consecutive_failures = 0
+        self.ring.add(node.address)
+        self.registry.counter("cluster.rejoins").inc()
+        self.registry.gauge("cluster.nodes_up").set(
+            sum(1 for n in self.nodes.values() if n.up)
+        )
+        log.info("node %s rejoined the ring", node.address)
+        node.kick.set()
+
+    # ------------------------------------------------------------ delivery
+
+    def _deliver(self, job: Job, index: int, cell: CellResult) -> None:
+        if job.finished or job.entries[index] is not None:
+            return
+        job.entries[index] = cell.entry
+        if cell.cached:
+            job.cells_cached += 1
+            self.registry.counter("cluster.cells_cached").inc()
+        else:
+            job.cells_computed += 1
+        self.registry.counter("cluster.cells_done").inc()
+        job.publish(
+            CellResult(
+                job_id=job.job_id,
+                index=index,
+                workload=cell.workload,
+                config=cell.config,
+                cached=cell.cached,
+                seconds=cell.seconds,
+                entry=cell.entry,
+            )
+        )
+
+    def _slice_done(self, slice_: Slice) -> None:
+        state = self._state.get(slice_.job.job_id)
+        if state is None:
+            return
+        state.outstanding -= 1
+        if state.outstanding <= 0:
+            self._maybe_complete(slice_.job)
+
+    def _maybe_complete(self, job: Job) -> None:
+        if job.finished:
+            return
+        if job.cancel_requested:
+            self._finish(job, jobstates.CANCELLED)
+        elif all(entry is not None for entry in job.entries):
+            self._finish(job, jobstates.DONE)
+        else:
+            # Every slice accounted for but cells missing: a requeue path
+            # failed without failing the job (should not happen).
+            self._finish(
+                job, jobstates.FAILED, error="job lost cells without a cause"
+            )
+
+    def _fail_job(
+        self, job: Job, error: str, state: str = jobstates.FAILED
+    ) -> None:
+        if job.finished:
+            return
+        for node in self.nodes.values():
+            kept = [s for s in node.pending if s.job is not job]
+            dropped = len(node.pending) - len(kept)
+            if dropped:
+                node.pending.clear()
+                node.pending.extend(kept)
+                job_state = self._state.get(job.job_id)
+                if job_state is not None:
+                    job_state.outstanding -= dropped
+        self._finish(job, state, error=error)
+
+    def _finish(self, job: Job, state: str, error: str | None = None) -> None:
+        job.state = state
+        job.error = error
+        job.finished_at = time.monotonic()
+        self._state.pop(job.job_id, None)
+        self.registry.counter(f"cluster.jobs_{state}").inc()
+        self.registry.histogram("cluster.job_service_seconds").observe(
+            job.seconds
+        )
+        job.publish(
+            JobDone(
+                job_id=job.job_id,
+                state=state,
+                cells_total=len(job.cells),
+                cells_cached=job.cells_cached,
+                cells_computed=job.cells_computed,
+                seconds=job.seconds,
+                error=error,
+            )
+        )
+        self._job_finished.set()
+
+    # ------------------------------------------------------------- queries
+
+    def status(self, job_id: str) -> StatusResponse | ErrorResponse:
+        job = self.table.get(job_id)
+        if job is None:
+            return ErrorResponse(
+                code=ERR_UNKNOWN_JOB,
+                message=f"unknown job {job_id!r}",
+                job_id=job_id,
+            )
+        return StatusResponse(
+            job_id=job.job_id,
+            state=job.state,
+            cells_total=len(job.cells),
+            cells_done=job.cells_done,
+            position=-1,
+        )
+
+    def result(self, job_id: str) -> ResultResponse | ErrorResponse:
+        job = self.table.get(job_id)
+        if job is None:
+            return ErrorResponse(
+                code=ERR_UNKNOWN_JOB,
+                message=f"unknown job {job_id!r}",
+                job_id=job_id,
+            )
+        return ResultResponse(
+            job_id=job.job_id, state=job.state, entries=list(job.entries)
+        )
+
+    def cancel(self, job_id: str) -> CancelledResponse | ErrorResponse:
+        job = self.table.get(job_id)
+        if job is None:
+            return ErrorResponse(
+                code=ERR_UNKNOWN_JOB,
+                message=f"unknown job {job_id!r}",
+                job_id=job_id,
+            )
+        if job.finished:
+            return CancelledResponse(job_id=job.job_id, state=job.state)
+        job.cancel_requested = True
+        state = self._state.get(job.job_id)
+        inflight = any(
+            node.inflight is not None and node.inflight.job is job
+            for node in self.nodes.values()
+        )
+        for node in self.nodes.values():
+            kept = [s for s in node.pending if s.job is not job]
+            dropped = len(node.pending) - len(kept)
+            if dropped:
+                node.pending.clear()
+                node.pending.extend(kept)
+                if state is not None:
+                    state.outstanding -= dropped
+        if not inflight:
+            self._finish(job, jobstates.CANCELLED)
+        # else: the streaming slice finishes, then _maybe_complete sees
+        # the cancel flag (node-side sub-jobs run to completion; their
+        # results land in the nodes' stores either way).
+        return CancelledResponse(job_id=job.job_id, state=job.state)
+
+    def health(self) -> HealthResponse:
+        nodes_up = sum(1 for node in self.nodes.values() if node.up)
+        return HealthResponse(
+            ok=nodes_up > 0,
+            uptime_seconds=time.monotonic() - self.started_at,
+            queue_depth=sum(len(node.pending) for node in self.nodes.values()),
+            queue_capacity=self.config.max_jobs,
+            jobs_active=len(self.table.unfinished()),
+            jobs_completed=int(
+                self.registry.counter("cluster.jobs_done").value
+            ),
+            workers=sum(
+                node.workers for node in self.nodes.values() if node.up
+            ),
+            draining=self.draining,
+        )
+
+    async def metrics(self) -> MetricsResponse:
+        """Cluster-wide view: gateway metrics merged with node snapshots.
+
+        Uses the associative :meth:`MetricsRegistry.merge` — counters
+        add across nodes (``service.cells_computed`` becomes the fleet
+        total), gauges last-write-win, histograms combine moments.
+        """
+        merged = MetricsRegistry()
+        merged.merge(self.registry.snapshot())
+        up = [node for node in self.nodes.values() if node.up]
+        answers = await asyncio.gather(
+            *(
+                node.link(timeout=self.config.probe_timeout).metrics()
+                for node in up
+            ),
+            return_exceptions=True,
+        )
+        for node, answer in zip(up, answers):
+            if isinstance(answer, MetricsResponse):
+                merged.merge_parts(
+                    counters=answer.counters,
+                    gauges=answer.gauges,
+                    histograms=answer.histograms,
+                )
+            elif isinstance(answer, BaseException):
+                log.warning(
+                    "metrics probe of %s failed: %s", node.address, answer
+                )
+        snapshot = merged.snapshot()
+        return MetricsResponse(
+            counters=snapshot["counters"],
+            gauges=snapshot["gauges"],
+            histograms=snapshot["histograms"],
+        )
+
+    # -------------------------------------------------------------- health
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.probe_interval)
+            await asyncio.gather(
+                *(self._probe(node) for node in self.nodes.values())
+            )
+
+    async def _probe(self, node: RunnerNode) -> None:
+        try:
+            health = await node.link(timeout=self.config.probe_timeout).health()
+        except NodeError as exc:
+            node.consecutive_failures += 1
+            if node.up and node.consecutive_failures >= self.config.max_failures:
+                self._evict(node, f"health probe failed: {exc}")
+            return
+        node.consecutive_failures = 0
+        node.queue_depth = health.queue_depth
+        node.workers = health.workers
+        self.registry.gauge(f"cluster.node.{node.address}.queue_depth").set(
+            health.queue_depth
+        )
+        if not node.up and not health.draining:
+            self._rejoin(node)
+
+
+async def gateway_forever(
+    config: GatewayConfig,
+    registry: MetricsRegistry | None = None,
+    on_bound=None,
+) -> Gateway:
+    """Run a gateway until SIGTERM/SIGINT drains it; returns the gateway."""
+    import signal
+
+    gateway = Gateway(config, registry=registry)
+    await gateway.start(on_bound=on_bound)
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, gateway.request_shutdown)
+    await gateway.wait_closed()
+    return gateway

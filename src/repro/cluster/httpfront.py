@@ -1,0 +1,251 @@
+"""Zero-dependency HTTP/1.1 JSON adapter for the cluster gateway.
+
+The gateway's listener sniffs each connection's first line; anything
+that looks like an HTTP request line lands here.  One request per
+connection (``Connection: close``), stdlib-only parsing — this is a
+front door for curl and dashboards, not a web framework.
+
+Endpoint table (mirrored in DESIGN.md §15):
+
+====== ========================= ==========================================
+Method Path                      Maps to
+====== ========================= ==========================================
+GET    /healthz                  ``health`` (cluster-level liveness)
+GET    /metrics                  ``metrics`` (aggregated across nodes)
+POST   /v1/jobs                  ``submit``; body ``{"cells": [...],
+                                 "priority", "timeout", "wait"}`` — with
+                                 ``wait`` (default true) the response is
+                                 the finished job, else 202 + job id
+GET    /v1/jobs/{id}             ``status``
+GET    /v1/jobs/{id}/result      ``result`` (entries so far; None gaps)
+DELETE /v1/jobs/{id}             ``cancel``
+====== ========================= ==========================================
+
+Structured protocol errors map onto status codes: ``bad_request`` → 400,
+``unknown_job`` → 404, ``queue_full`` → 429 with a ``Retry-After``
+header, ``draining`` → 503.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import logging
+
+from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_DRAINING,
+    ERR_QUEUE_FULL,
+    ERR_UNKNOWN_JOB,
+    CellSpec,
+    ErrorResponse,
+    JobDone,
+    SubmitRequest,
+)
+
+log = logging.getLogger("repro.cluster")
+
+#: Request bodies beyond this are rejected (matches the line-protocol
+#: stream limit; a 10k-cell sweep fits comfortably).
+_MAX_BODY = 4 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_ERROR_STATUS = {
+    ERR_BAD_REQUEST: 400,
+    ERR_UNKNOWN_JOB: 404,
+    ERR_QUEUE_FULL: 429,
+    ERR_DRAINING: 503,
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        self.message = message
+        super().__init__(message)
+
+
+def _response_bytes(
+    status: int, payload: dict, extra_headers: dict | None = None
+) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    headers = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("ascii") + body
+
+
+def _error_payload(error: ErrorResponse) -> tuple[int, dict, dict]:
+    status = _ERROR_STATUS.get(error.code, 500)
+    payload = {"error": error.code, "message": error.message}
+    if error.job_id is not None:
+        payload["job_id"] = error.job_id
+    if error.queue_depth is not None:
+        payload["queue_depth"] = error.queue_depth
+    headers = {}
+    if error.retry_after is not None:
+        payload["retry_after"] = error.retry_after
+        headers["Retry-After"] = f"{error.retry_after:g}"
+    return status, payload, headers
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, first_line: bytes
+) -> tuple[str, str, dict]:
+    try:
+        method, path, _version = first_line.decode("ascii").split(None, 2)
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise _HttpError(400, f"malformed request line: {exc}") from exc
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    body: dict = {}
+    length = int(headers.get("content-length", "0") or "0")
+    if length > _MAX_BODY:
+        raise _HttpError(413, f"body of {length} bytes exceeds {_MAX_BODY}")
+    if length:
+        raw = await reader.readexactly(length)
+        try:
+            body = json.loads(raw)
+        except ValueError as exc:
+            raise _HttpError(400, f"body is not valid JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise _HttpError(400, "body must be a JSON object")
+    return method.upper(), path, body
+
+
+def _decode_cells(body: dict) -> list[CellSpec]:
+    cells = body.get("cells")
+    if not isinstance(cells, list) or not cells:
+        raise _HttpError(400, "body needs a non-empty 'cells' list")
+    specs = []
+    for cell in cells:
+        if not isinstance(cell, dict):
+            raise _HttpError(400, "each cell must be a JSON object")
+        try:
+            specs.append(CellSpec(**cell))
+        except TypeError as exc:
+            raise _HttpError(400, f"bad cell spec: {exc}") from exc
+    return specs
+
+
+def _job_payload(message) -> dict:
+    payload = dataclasses.asdict(message)
+    payload["type"] = message.TYPE
+    return payload
+
+
+async def _submit(gateway, body: dict) -> bytes:
+    wait = body.get("wait", True)
+    request = SubmitRequest(
+        cells=_decode_cells(body),
+        priority=body.get("priority", "batch"),
+        timeout=body.get("timeout"),
+        client=str(body.get("client", "http")),
+    )
+    admitted = gateway.admit(request)
+    if isinstance(admitted, ErrorResponse):
+        status, payload, headers = _error_payload(admitted)
+        return _response_bytes(status, payload, headers)
+    job = admitted
+    if not wait:
+        return _response_bytes(
+            202, {"job_id": job.job_id, "cells_total": len(job.cells)}
+        )
+    stream: asyncio.Queue = asyncio.Queue()
+    job.subscribe(stream)
+    try:
+        while not job.finished:
+            message = await stream.get()
+            if isinstance(message, JobDone):
+                break
+    finally:
+        job.unsubscribe(stream)
+    return _response_bytes(
+        200,
+        {
+            "job_id": job.job_id,
+            "state": job.state,
+            "entries": list(job.entries),
+            "cells_cached": job.cells_cached,
+            "cells_computed": job.cells_computed,
+            "seconds": job.seconds,
+            "error": job.error,
+        },
+    )
+
+
+async def handle_http(
+    gateway,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    first_line: bytes,
+) -> None:
+    """Serve one HTTP request against the gateway, then close."""
+    try:
+        method, path, body = await _read_request(reader, first_line)
+        route = (method, path)
+        if route == ("GET", "/healthz"):
+            health = gateway.health()
+            response = _response_bytes(
+                200 if health.ok else 503, _job_payload(health)
+            )
+        elif route == ("GET", "/metrics"):
+            response = _response_bytes(
+                200, _job_payload(await gateway.metrics())
+            )
+        elif route == ("POST", "/v1/jobs"):
+            response = await _submit(gateway, body)
+        elif method in ("GET", "DELETE") and path.startswith("/v1/jobs/"):
+            tail = path[len("/v1/jobs/") :]
+            if method == "GET" and tail.endswith("/result"):
+                answer = gateway.result(tail[: -len("/result")])
+            elif method == "GET":
+                answer = gateway.status(tail)
+            else:
+                answer = gateway.cancel(tail)
+            if isinstance(answer, ErrorResponse):
+                status, payload, headers = _error_payload(answer)
+                response = _response_bytes(status, payload, headers)
+            else:
+                response = _response_bytes(200, _job_payload(answer))
+        else:
+            response = _response_bytes(
+                405 if path in ("/healthz", "/metrics", "/v1/jobs") else 404,
+                {"error": "no_route", "message": f"no route {method} {path}"},
+            )
+    except _HttpError as exc:
+        response = _response_bytes(
+            exc.status, {"error": "bad_request", "message": exc.message}
+        )
+    except asyncio.IncompleteReadError:
+        return  # peer hung up mid-body; nothing to answer
+    except Exception as exc:  # surface, never kill the gateway
+        log.exception("HTTP handler failed")
+        response = _response_bytes(
+            500, {"error": "internal", "message": f"{type(exc).__name__}: {exc}"}
+        )
+    writer.write(response)
+    await writer.drain()

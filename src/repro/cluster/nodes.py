@@ -1,0 +1,204 @@
+"""Runner-node state and the async JSON-lines client the gateway uses.
+
+A :class:`RunnerNode` is the gateway's view of one ``repro.service``
+server: its address, health (consecutive probe failures, up/down), the
+deque of pending :class:`~repro.cluster.gateway.Slice` work planned for
+it, and the slice currently in flight.  The deque is deliberately a
+plain data structure on the gateway's single event loop — the stealing
+logic pops from its *back* while the node's own worker pops from the
+front, with no locking needed.
+
+:class:`NodeLink` is the asyncio twin of the blocking
+:class:`repro.service.client.Client`: one connection per request, and a
+streaming ``submit`` that forwards each ``cell`` message to a callback
+as it lands.  Structured error answers become :class:`NodeError`
+(``queue_full`` becomes :class:`NodeShed` carrying ``retry_after`` so
+the dispatch loop can back off instead of failing the slice).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.service.protocol import (
+    ERR_QUEUE_FULL,
+    CellResult,
+    ErrorResponse,
+    HealthRequest,
+    JobDone,
+    MetricsRequest,
+    ProtocolError,
+    SubmitRequest,
+    SubmittedResponse,
+    decode_response,
+    encode_message,
+)
+
+#: Mirror of the service server's raised stream line limit.
+_LINE_LIMIT = 4 * 1024 * 1024
+
+
+class NodeError(RuntimeError):
+    """A structured error (or transport failure) talking to one node."""
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        super().__init__(f"{code}: {message}")
+
+
+class NodeShed(NodeError):
+    """The node's queue is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, message: str, retry_after: float | None) -> None:
+        super().__init__(ERR_QUEUE_FULL, message)
+        self.retry_after = retry_after if retry_after is not None else 1.0
+
+
+class NodeUnreachable(NodeError):
+    """Transport-level failure: refused, reset, or EOF mid-stream."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("unreachable", message)
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Split ``host:port`` (the port is the last colon-separated field)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"node address must be host:port, got {address!r}")
+    return host or "127.0.0.1", int(port)
+
+
+class NodeLink:
+    """One async request (or submit stream) against a runner node."""
+
+    def __init__(self, address: str, timeout: float | None = None) -> None:
+        self.address = address
+        self.host, self.port = parse_address(address)
+        self.timeout = timeout
+
+    async def _connect(self):
+        try:
+            return await asyncio.open_connection(
+                self.host, self.port, limit=_LINE_LIMIT
+            )
+        except OSError as exc:
+            raise NodeUnreachable(
+                f"cannot connect to {self.address}: {exc}"
+            ) from exc
+
+    async def _read_message(self, reader: asyncio.StreamReader):
+        try:
+            line = await asyncio.wait_for(reader.readline(), self.timeout)
+        except asyncio.TimeoutError as exc:
+            raise NodeUnreachable(
+                f"{self.address} did not answer within {self.timeout}s"
+            ) from exc
+        except OSError as exc:
+            raise NodeUnreachable(f"{self.address} reset: {exc}") from exc
+        if not line:
+            raise NodeUnreachable(f"{self.address} closed the connection")
+        try:
+            message = decode_response(line)
+        except ProtocolError as exc:
+            raise NodeError(exc.code, str(exc)) from exc
+        if isinstance(message, ErrorResponse):
+            if message.code == ERR_QUEUE_FULL:
+                raise NodeShed(message.message, message.retry_after)
+            raise NodeError(message.code, message.message)
+        return message
+
+    async def request(self, message):
+        """One request, one response, one connection."""
+        reader, writer = await self._connect()
+        try:
+            writer.write(encode_message(message))
+            await writer.drain()
+            return await self._read_message(reader)
+        except OSError as exc:
+            raise NodeUnreachable(f"{self.address} reset: {exc}") from exc
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.TimeoutError):
+                pass  # silent-ok: peer already tore the socket down
+
+    async def health(self):
+        return await self.request(HealthRequest())
+
+    async def metrics(self):
+        return await self.request(MetricsRequest())
+
+    async def submit(
+        self,
+        cells,
+        priority: str = "batch",
+        timeout: float | None = None,
+        client: str = "gateway",
+        on_cell=None,
+    ) -> JobDone:
+        """Submit one sub-job and stream it to completion.
+
+        ``on_cell(CellResult)`` fires per streamed cell (awaited if it
+        returns an awaitable); returns the final :class:`JobDone`.
+        """
+        request = SubmitRequest(
+            cells=list(cells), priority=priority, timeout=timeout, client=client
+        )
+        reader, writer = await self._connect()
+        try:
+            writer.write(encode_message(request))
+            await writer.drain()
+            submitted = await self._read_message(reader)
+            if not isinstance(submitted, SubmittedResponse):
+                raise NodeError(
+                    "protocol", f"expected 'submitted', got {submitted.TYPE!r}"
+                )
+            while True:
+                message = await self._read_message(reader)
+                if isinstance(message, CellResult):
+                    if on_cell is not None:
+                        result = on_cell(message)
+                        if asyncio.iscoroutine(result):
+                            await result
+                elif isinstance(message, JobDone):
+                    return message
+        except OSError as exc:
+            raise NodeUnreachable(f"{self.address} reset: {exc}") from exc
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.TimeoutError):
+                pass  # silent-ok: peer already tore the socket down
+
+
+@dataclass
+class RunnerNode:
+    """The gateway's bookkeeping for one runner."""
+
+    address: str
+    up: bool = True
+    consecutive_failures: int = 0
+    #: Pending slices planned for this node (front = next to dispatch;
+    #: thieves pop from the back).
+    pending: deque = field(default_factory=deque)
+    #: Slice currently streaming on this node's worker (None = idle).
+    inflight: object | None = None
+    #: Last health probe's reported queue depth (gauge fodder).
+    queue_depth: int = 0
+    #: Last health probe's reported worker count (fleet-size reporting).
+    workers: int = 0
+    #: Set to nudge this node's worker when new work (anywhere) arrives.
+    kick: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def backlog(self) -> int:
+        """Pending slices (in-flight excluded: it cannot be stolen)."""
+        return len(self.pending)
+
+    def link(self, timeout: float | None = None) -> NodeLink:
+        return NodeLink(self.address, timeout=timeout)

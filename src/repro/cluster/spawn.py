@@ -1,0 +1,163 @@
+"""Runner subprocess management for ``cluster spawn``.
+
+Spawns ``python -m repro.harness serve --port 0`` children and
+discovers each one's actually-bound port from the parseable
+``listening on host:port`` line the server prints the moment its socket
+binds (before the slow pool warm-up) — no fixed-port races, no
+sleeping-and-hoping.  After discovery a daemon thread keeps draining
+the child's stderr into a bounded ring so the pipe can never fill up
+and block the runner.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+#: Matches the server's startup line, e.g.
+#: ``[repro.service] listening on 127.0.0.1:45123 (workers=2, ...)``.
+LISTENING_RE = re.compile(r"listening on ([\w.\-]+):(\d+)")
+
+
+class SpawnError(RuntimeError):
+    """A runner child failed to start (or never announced its port)."""
+
+
+@dataclass
+class RunnerProcess:
+    """One spawned ``serve`` child and its discovered address."""
+
+    process: subprocess.Popen
+    address: str
+    #: Bounded tail of the child's stderr (diagnostics on failure).
+    stderr_tail: deque = field(default_factory=lambda: deque(maxlen=400))
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+
+def spawn_runner(
+    workers: int = 1,
+    host: str = "127.0.0.1",
+    max_queue: int = 64,
+    cache_dir: str | None = None,
+    startup_timeout: float = 120.0,
+    extra_args: tuple[str, ...] = (),
+    forward_stderr: bool = False,
+) -> RunnerProcess:
+    """Spawn one runner and block until its port is known.
+
+    The child prints its ``listening on`` line immediately after bind,
+    so this returns in milliseconds even though worker warm-up takes
+    seconds; ``startup_timeout`` only bounds the pathological case.
+    """
+    command = [
+        sys.executable, "-m", "repro.harness", "serve",
+        "--host", host, "--port", "0",
+        "--workers", str(workers),
+        "--max-queue", str(max_queue),
+    ]
+    if cache_dir:
+        command += ["--cache-dir", cache_dir]
+    command += list(extra_args)
+    env = dict(os.environ)
+    env.setdefault("PYTHONUNBUFFERED", "1")
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    assert process.stderr is not None
+    tail: deque = deque(maxlen=400)
+    address: str | None = None
+    deadline = time.monotonic() + startup_timeout
+    while time.monotonic() < deadline:
+        line = process.stderr.readline()
+        if not line:
+            break  # child exited (or closed stderr) before announcing
+        tail.append(line)
+        if forward_stderr:
+            sys.stderr.write(line)
+        match = LISTENING_RE.search(line)
+        if match:
+            address = f"{match.group(1)}:{match.group(2)}"
+            break
+    if address is None:
+        process.terminate()
+        process.wait(timeout=10)
+        raise SpawnError(
+            "runner never announced its port; stderr tail:\n" + "".join(tail)
+        )
+    runner = RunnerProcess(process=process, address=address, stderr_tail=tail)
+
+    def _drain() -> None:
+        for line in process.stderr:
+            runner.stderr_tail.append(line)
+            if forward_stderr:
+                sys.stderr.write(line)
+
+    threading.Thread(
+        target=_drain, daemon=True, name=f"runner-stderr-{process.pid}"
+    ).start()
+    return runner
+
+
+def spawn_runners(
+    count: int,
+    startup_timeout: float = 120.0,
+    cache_dir: str | None = None,
+    **kwargs,
+) -> list[RunnerProcess]:
+    """Spawn ``count`` runners; on any failure, terminate the survivors.
+
+    When ``cache_dir`` is given each runner gets its own ``runner{i}``
+    subdirectory — separate per-node artifact stores are the locality
+    model the hash ring exists for (a warm hit must be a *local* hit).
+    """
+    runners: list[RunnerProcess] = []
+    try:
+        for i in range(count):
+            runner_cache = (
+                os.path.join(cache_dir, f"runner{i}") if cache_dir else None
+            )
+            runners.append(
+                spawn_runner(
+                    startup_timeout=startup_timeout,
+                    cache_dir=runner_cache,
+                    **kwargs,
+                )
+            )
+    except Exception:
+        terminate_runners(runners)
+        raise
+    return runners
+
+
+def terminate_runners(
+    runners: list[RunnerProcess], timeout: float = 30.0
+) -> None:
+    """SIGTERM every runner (clean drain) and reap; SIGKILL stragglers."""
+    for runner in runners:
+        if runner.alive():
+            runner.process.send_signal(signal.SIGTERM)
+    deadline = time.monotonic() + timeout
+    for runner in runners:
+        remaining = max(0.1, deadline - time.monotonic())
+        try:
+            runner.process.wait(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            runner.process.kill()
+            runner.process.wait(timeout=10)

@@ -323,36 +323,73 @@ class ConfigFuzzTaskError(TaskError):
         )
 
 
+@dataclass(frozen=True)
+class ConfigPairTask:
+    """One (program, config) pair addressed purely by its seeds.
+
+    The service/cluster submit path ships these as
+    ``CellSpec(kind="config_fuzz", payload={...})`` cells — the worker
+    regenerates the pair from ``(campaign_seed, index)`` via the same
+    derivations a local run uses, so a routed campaign's per-pair
+    summaries (and hence its digest) match the local run byte for byte.
+    """
+
+    campaign_seed: int
+    index: int
+
+
+def config_pair_summary(
+    campaign_seed: int,
+    index: int,
+    generator: GeneratorConfig | None = None,
+    oracle: ConfigOracleConfig | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> dict:
+    """Generate, differential-test, and summarize one (program, config) pair.
+
+    The single source of truth for a pair's summary dict: local chunk
+    workers and service pool workers both call this, which is what keeps
+    the campaign digest independent of *where* pairs ran.  Divergent
+    pairs carry their ``genome``/``config`` JSON (popped before
+    hashing) so the caller can rebuild the replayable case.
+    """
+    generator = generator if generator is not None else GeneratorConfig()
+    oracle = oracle if oracle is not None else ConfigOracleConfig()
+    program_seed = derive_program_seed(campaign_seed, index)
+    config_seed = derive_config_seed(campaign_seed, index)
+    genome = generate_program(program_seed, generator)
+    processor = generate_config(config_seed)
+    report = run_config_differential(genome, processor, oracle, metrics=metrics)
+    summary = {
+        "index": index,
+        "program_seed": program_seed,
+        "config_seed": config_seed,
+        "trace_length": report.trace_length,
+        "simulations": report.simulations,
+        "frames_fetched": report.frames_fetched,
+        "frames_fired": report.frames_fired,
+        "optimized_slower": report.optimized_slower,
+        "divergences": [d.to_json() for d in report.divergences],
+    }
+    if report.divergences:
+        summary["genome"] = program_to_json(genome)
+        summary["config"] = config_to_json(processor)
+    return summary
+
+
 def _config_chunk_worker(payload: dict):
     """Run one chunk of (program, config) pair indices (pool worker)."""
     registry = MetricsRegistry()
-    generator_config = payload["generator"]
-    oracle_config = payload["oracle"]
-    campaign_seed = payload["seed"]
-    summaries = []
-    for index in payload["indices"]:
-        program_seed = derive_program_seed(campaign_seed, index)
-        config_seed = derive_config_seed(campaign_seed, index)
-        genome = generate_program(program_seed, generator_config)
-        processor = generate_config(config_seed)
-        report = run_config_differential(
-            genome, processor, oracle_config, metrics=registry
+    summaries = [
+        config_pair_summary(
+            payload["seed"],
+            index,
+            generator=payload["generator"],
+            oracle=payload["oracle"],
+            metrics=registry,
         )
-        summary = {
-            "index": index,
-            "program_seed": program_seed,
-            "config_seed": config_seed,
-            "trace_length": report.trace_length,
-            "simulations": report.simulations,
-            "frames_fetched": report.frames_fetched,
-            "frames_fired": report.frames_fired,
-            "optimized_slower": report.optimized_slower,
-            "divergences": [d.to_json() for d in report.divergences],
-        }
-        if report.divergences:
-            summary["genome"] = program_to_json(genome)
-            summary["config"] = config_to_json(processor)
-        summaries.append(summary)
+        for index in payload["indices"]
+    ]
     return summaries, registry.snapshot()
 
 
@@ -360,15 +397,61 @@ def run_config_campaign(
     config: ConfigCampaignConfig,
     metrics: MetricsRegistry | None = None,
     progress=None,
+    client=None,
 ) -> ConfigCampaignResult:
     """Run a config-axis campaign; same reproducibility contract as
-    :func:`run_campaign` — the digest depends only on (seed, count)."""
+    :func:`run_campaign` — the digest depends only on (seed, count).
+
+    With ``client`` (a :class:`repro.service.client.Client` pointed at
+    a ``serve`` or ``cluster serve`` address) the pairs run remotely:
+    each batch ships as ``kind="config_fuzz"`` cells, the service's
+    warm pool regenerates every pair from its seeds, and the returned
+    summaries fold through the *same* merge loop — so the digest is
+    identical to a local run whatever the fleet looked like.  Remote
+    runs only support the default generator/oracle (the wire carries
+    seeds, not tuned knob objects).
+    """
+    if client is not None and (
+        config.generator != GeneratorConfig()
+        or config.oracle != ConfigOracleConfig()
+    ):
+        raise ValueError(
+            "service-routed config campaigns support only the default "
+            "generator/oracle settings (the wire ships seeds, not knobs)"
+        )
     result = ConfigCampaignResult(seed=config.seed, jobs=config.jobs)
     start = time.perf_counter()
     summary_hash = hashlib.sha256()
     next_index = 0
 
-    def run_batch(count: int) -> None:
+    def fold(summary: dict) -> None:
+        result.pairs += 1
+        result.simulations += summary["simulations"]
+        result.frames_fetched += summary["frames_fetched"]
+        result.frames_fired += summary["frames_fired"]
+        result.trace_records += summary["trace_length"]
+        result.optimized_slower += int(summary["optimized_slower"])
+        genome_json = summary.pop("genome", None)
+        config_json = summary.pop("config", None)
+        summary_hash.update(
+            json.dumps(summary, sort_keys=True, separators=(",", ":")).encode()
+        )
+        if summary["divergences"]:
+            result.divergent.append(
+                DivergentPair(
+                    index=summary["index"],
+                    program_seed=summary["program_seed"],
+                    config_seed=summary["config_seed"],
+                    genome=_genome_back(genome_json),
+                    config_json=config_json,
+                    divergences=[
+                        ConfigDivergence.from_json(d)
+                        for d in summary["divergences"]
+                    ],
+                )
+            )
+
+    def run_batch_local(count: int) -> None:
         nonlocal next_index
         chunks = _chunks(next_index, count, config.chunk_size)
         next_index += count
@@ -395,33 +478,38 @@ def run_config_campaign(
             if metrics is not None and snapshot is not None:
                 metrics.merge(snapshot)
             for summary in summaries:
-                result.pairs += 1
-                result.simulations += summary["simulations"]
-                result.frames_fetched += summary["frames_fetched"]
-                result.frames_fired += summary["frames_fired"]
-                result.trace_records += summary["trace_length"]
-                result.optimized_slower += int(summary["optimized_slower"])
-                genome_json = summary.pop("genome", None)
-                config_json = summary.pop("config", None)
-                summary_hash.update(
-                    json.dumps(
-                        summary, sort_keys=True, separators=(",", ":")
-                    ).encode()
-                )
-                if summary["divergences"]:
-                    result.divergent.append(
-                        DivergentPair(
-                            index=summary["index"],
-                            program_seed=summary["program_seed"],
-                            config_seed=summary["config_seed"],
-                            genome=_genome_back(genome_json),
-                            config_json=config_json,
-                            divergences=[
-                                ConfigDivergence.from_json(d)
-                                for d in summary["divergences"]
-                            ],
-                        )
-                    )
+                fold(summary)
+
+    def run_batch_service(count: int) -> None:
+        nonlocal next_index
+        from repro.service.protocol import CellSpec
+
+        indices = list(range(next_index, next_index + count))
+        next_index += count
+        cells = [
+            CellSpec(
+                workload=f"configfuzz-{config.seed}",
+                config=f"pair-{index}",
+                kind="config_fuzz",
+                payload={"campaign_seed": config.seed, "index": index},
+            )
+            for index in indices
+        ]
+        outcome = client.submit(cells, priority="batch")
+        if outcome.state != "done":
+            raise ConfigFuzzTaskError(
+                indices[0],
+                RuntimeError(
+                    outcome.error
+                    or f"service finished the batch as {outcome.state}"
+                ),
+            )
+        # Entries are index-ordered (submission order == pair order), so
+        # folding them in sequence hashes identically to a local run.
+        for summary in outcome.entries:
+            fold(dict(summary))
+
+    run_batch = run_batch_local if client is None else run_batch_service
 
     if config.duration is not None:
         batch = max(config.chunk_size * max(1, config.jobs), 1)

@@ -16,6 +16,8 @@ Usage::
     python -m repro.harness cache clear
     python -m repro.harness serve --port 9417 --workers 4   # batch service
     python -m repro.harness submit fig6 --port 9417         # job -> service
+    python -m repro.harness cluster spawn --runners 2       # sharded fleet
+    python -m repro.harness cluster serve --nodes 127.0.0.1:9417,127.0.0.1:9418
     python -m repro.harness submit --workloads 'gzip,loopy-*' --configs IC,TC
     python -m repro.harness scenarios gen --families loopy,branchy
     python -m repro.harness scenarios run --workloads 'redund-*' --jobs 4
@@ -452,6 +454,10 @@ def main(argv: list[str] | None = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "submit":
         return submit_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        from repro.cluster.cli import cluster_main
+
+        return cluster_main(argv[1:])
     if argv and argv[0] == "fuzz":
         from repro.fuzz.cli import fuzz_main
 

@@ -5,12 +5,24 @@ smoke job, and scripts just want "send cells, iterate results".  Each
 call opens its own connection (the protocol is stateless per request;
 ``submit`` keeps its connection open only for the duration of the
 stream), so one :class:`Client` can be shared freely.
+
+Idempotent queries (``health``/``status``/``metrics``/``result``)
+transparently retry transport failures — connection refused/reset and
+mid-read disconnects — with jittered exponential backoff, because
+against a cluster those are routine (a gateway restarting, a node
+rolling).  ``submit`` and ``cancel`` never auto-retry: resubmitting a
+job is a policy decision the caller owns.  A ``queue_full`` shed
+surfaces as the typed :class:`ServiceShed` carrying the server's
+``retry_after`` hint, so callers back off instead of crashing or
+hammering.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import socket
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -48,6 +60,37 @@ class ServiceError(RuntimeError):
         super().__init__(f"{code}: {message}")
 
 
+class ServiceShed(ServiceError):
+    """The server shed the request (``queue_full``); back off and retry.
+
+    ``retry_after`` is the server's suggested delay in seconds (it
+    scales with queue depth); defaults to 1.0 when the server predates
+    the hint.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        queue_depth: int | None = None,
+        retry_after: float | None = None,
+    ):
+        super().__init__("queue_full", message, queue_depth=queue_depth)
+        self.retry_after = retry_after if retry_after is not None else 1.0
+
+
+#: Error codes that mean "the request never reached a healthy server" —
+#: safe to retry for idempotent requests.
+TRANSIENT_CODES = ("unreachable", "disconnected")
+
+#: Seam for tests (monkeypatched to collect delays instead of sleeping).
+_sleep = time.sleep
+
+
+def _backoff_delay(attempt: int, base: float, cap: float) -> float:
+    """Jittered exponential backoff: base * 2^attempt, capped, ±50%."""
+    return min(cap, base * (2.0**attempt)) * (0.5 + random.random() / 2.0)
+
+
 @dataclass
 class JobOutcome:
     """Everything a finished ``submit`` produced."""
@@ -78,11 +121,17 @@ class Client:
         port: int = DEFAULT_PORT,
         timeout: float | None = None,
         client_id: str | None = None,
+        retries: int = 3,
+        retry_base: float = 0.1,
+        retry_cap: float = 2.0,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.client_id = client_id or default_client_id()
+        self.retries = max(0, retries)
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
 
     # ------------------------------------------------------------ plumbing
 
@@ -106,6 +155,12 @@ class Client:
         except ProtocolError as exc:
             raise ServiceError(exc.code, str(exc)) from exc
         if isinstance(message, ErrorResponse):
+            if message.code == "queue_full":
+                raise ServiceShed(
+                    message.message,
+                    queue_depth=message.queue_depth,
+                    retry_after=message.retry_after,
+                )
             raise ServiceError(
                 message.code, message.message, queue_depth=message.queue_depth
             )
@@ -113,25 +168,49 @@ class Client:
 
     def request(self, message):
         """One request, one response, one connection."""
-        with self._connect() as sock:
-            with sock.makefile("rwb") as stream:
-                stream.write(encode_message(message))
-                stream.flush()
-                return self._read_message(stream)
+        try:
+            with self._connect() as sock:
+                with sock.makefile("rwb") as stream:
+                    stream.write(encode_message(message))
+                    stream.flush()
+                    return self._read_message(stream)
+        except ServiceError:
+            raise
+        except OSError as exc:
+            # Reset/timeout mid-request; same retry class as an EOF.
+            raise ServiceError(
+                "disconnected", f"connection to {self.host}:{self.port} "
+                f"failed mid-request: {exc}"
+            ) from exc
+
+    def _request_idempotent(self, message):
+        """Retry transient transport failures with jittered backoff.
+
+        Only for requests that are safe to repeat — re-asking for
+        health/status/metrics/result cannot double-run work.
+        """
+        for attempt in range(self.retries + 1):
+            try:
+                return self.request(message)
+            except ServiceError as exc:
+                if exc.code not in TRANSIENT_CODES or attempt == self.retries:
+                    raise
+                _sleep(_backoff_delay(attempt, self.retry_base, self.retry_cap))
+        raise AssertionError("unreachable")
 
     # ------------------------------------------------------------- queries
 
     def health(self) -> HealthResponse:
-        return self.request(HealthRequest())
+        return self._request_idempotent(HealthRequest())
 
     def metrics(self) -> MetricsResponse:
-        return self.request(MetricsRequest())
+        return self._request_idempotent(MetricsRequest())
 
     def status(self, job_id: str) -> StatusResponse:
-        return self.request(StatusRequest(job_id=job_id))
+        return self._request_idempotent(StatusRequest(job_id=job_id))
 
     def result(self, job_id: str) -> ResultResponse:
-        return self.request(ResultRequest(job_id=job_id))
+        return self._request_idempotent(ResultRequest(job_id=job_id))
 
     def cancel(self, job_id: str) -> CancelledResponse:
         return self.request(CancelRequest(job_id=job_id))
@@ -161,31 +240,40 @@ class Client:
             timeout=timeout,
             client=self.client_id,
         )
-        with self._connect() as sock:
-            with sock.makefile("rwb") as stream:
-                stream.write(encode_message(request))
-                stream.flush()
-                submitted = self._read_message(stream)
-                if not isinstance(submitted, SubmittedResponse):
-                    raise ServiceError(
-                        "protocol",
-                        f"expected 'submitted', got {submitted.TYPE!r}",
-                    )
-                entries: list = [None] * submitted.cells_total
-                while True:
-                    message = self._read_message(stream)
-                    if isinstance(message, CellResult):
-                        if 0 <= message.index < len(entries):
-                            entries[message.index] = message.entry
-                        if on_cell is not None:
-                            on_cell(message)
-                    elif isinstance(message, JobDone):
-                        return JobOutcome(
-                            job_id=message.job_id,
-                            state=message.state,
-                            entries=entries,
-                            cells_cached=message.cells_cached,
-                            cells_computed=message.cells_computed,
-                            seconds=message.seconds,
-                            error=message.error,
+        try:
+            with self._connect() as sock:
+                with sock.makefile("rwb") as stream:
+                    stream.write(encode_message(request))
+                    stream.flush()
+                    submitted = self._read_message(stream)
+                    if not isinstance(submitted, SubmittedResponse):
+                        raise ServiceError(
+                            "protocol",
+                            f"expected 'submitted', got {submitted.TYPE!r}",
                         )
+                    entries: list = [None] * submitted.cells_total
+                    while True:
+                        message = self._read_message(stream)
+                        if isinstance(message, CellResult):
+                            if 0 <= message.index < len(entries):
+                                entries[message.index] = message.entry
+                            if on_cell is not None:
+                                on_cell(message)
+                        elif isinstance(message, JobDone):
+                            return JobOutcome(
+                                job_id=message.job_id,
+                                state=message.state,
+                                entries=entries,
+                                cells_cached=message.cells_cached,
+                                cells_computed=message.cells_computed,
+                                seconds=message.seconds,
+                                error=message.error,
+                            )
+        except ServiceError:
+            raise
+        except OSError as exc:
+            # Never auto-retried: the job may already be running.
+            raise ServiceError(
+                "disconnected",
+                f"submit stream to {self.host}:{self.port} broke: {exc}",
+            ) from exc

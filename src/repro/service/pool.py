@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import logging
 import os
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 
 from repro.artifacts.runner import MatrixTask, resolve_worker_store, run_cell
@@ -58,20 +59,43 @@ def run_batch(payload: tuple[str | None, list[tuple[int, MatrixTask]]]) -> list[
     store_root, cells = payload
     outputs = []
     for index, task in cells:
-        result, telemetry, snapshot = run_cell(task, store_root)
-        outputs.append(
-            {
-                "index": index,
-                "workload": task.workload,
-                "config": task.config.name,
-                "entry": result_entry(task.workload, task.config.name, result),
-                "cached": telemetry.result_cache_hit,
-                "emulated": telemetry.emulated,
-                "seconds": telemetry.seconds,
-                "pid": os.getpid(),
-                "snapshot": snapshot,
-            }
-        )
+        if isinstance(task, MatrixTask):
+            result, telemetry, snapshot = run_cell(task, store_root)
+            outputs.append(
+                {
+                    "index": index,
+                    "workload": task.workload,
+                    "config": task.config.name,
+                    "entry": result_entry(task.workload, task.config.name, result),
+                    "cached": telemetry.result_cache_hit,
+                    "emulated": telemetry.emulated,
+                    "seconds": telemetry.seconds,
+                    "pid": os.getpid(),
+                    "snapshot": snapshot,
+                }
+            )
+        else:  # ConfigPairTask: regenerate the pair from its seeds
+            from repro.fuzz.campaign import config_pair_summary
+            from repro.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+            start = time.perf_counter()
+            summary = config_pair_summary(
+                task.campaign_seed, task.index, metrics=registry
+            )
+            outputs.append(
+                {
+                    "index": index,
+                    "workload": f"configfuzz-{task.campaign_seed}",
+                    "config": f"pair-{task.index}",
+                    "entry": summary,
+                    "cached": False,
+                    "emulated": True,
+                    "seconds": time.perf_counter() - start,
+                    "pid": os.getpid(),
+                    "snapshot": registry.snapshot(),
+                }
+            )
     return outputs
 
 

@@ -62,12 +62,31 @@ class CellSpec:
     ``config`` is a name from :data:`repro.harness.experiment.CONFIGS`;
     v1 of the protocol does not ship arbitrary configurations over the
     wire.
+
+    ``kind`` selects the cell family.  The default ``"experiment"`` is
+    the original (workload, config) matrix cell.  ``"config_fuzz"``
+    cells carry ``{"campaign_seed": int, "index": int}`` in ``payload``
+    and the server re-derives the (program, config) pair from those
+    seeds — deterministic regeneration instead of shipping arbitrary
+    configurations, which keeps v1's frozen config vocabulary intact.
+    Old servers reject unknown kinds with ``bad_request``; old clients
+    never send them (additive evolution within v1).
     """
 
     workload: str
     config: str
     scale: int | None = None
     seed: int = 1
+    kind: str = "experiment"
+    payload: dict | None = None
+
+    def __post_init__(self) -> None:
+        # dict payloads are unhashable; freeze the dataclass contract by
+        # normalizing the empty payload so equality stays value-based.
+        if self.payload is not None and not isinstance(self.payload, dict):
+            raise TypeError(
+                f"payload must be a dict or None, got {type(self.payload).__name__}"
+            )
 
 
 # ---------------------------------------------------------------- requests
@@ -202,6 +221,8 @@ class ErrorResponse:
     message: str = ""
     job_id: str | None = None
     queue_depth: int | None = None  # populated on queue_full sheds
+    #: Seconds the client should wait before retrying (queue_full only).
+    retry_after: float | None = None
 
 
 REQUEST_TYPES = {

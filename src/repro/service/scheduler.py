@@ -237,6 +237,8 @@ class Scheduler:
         for index, task in enumerate(job.cells):
             if job.entries[index] is not None:
                 continue
+            if not isinstance(task, MatrixTask):
+                continue  # config-fuzz cells have no store entry to probe
             key = result_key(task.workload, task.config, task.scale, task.seed)
             cached = self.store.get_result(key)
             if not isinstance(cached, ExperimentResult):
@@ -263,9 +265,12 @@ class Scheduler:
         for index, task in enumerate(job.cells):
             if job.entries[index] is not None:
                 continue
-            groups.setdefault((task.workload, task.scale, task.seed), []).append(
-                (index, task)
-            )
+            if isinstance(task, MatrixTask):
+                # Cells sharing a dynamic trace batch together.
+                group = (task.workload, task.scale, task.seed)
+            else:  # ConfigPairTask: campaign-mates batch together
+                group = ("config_fuzz", task.campaign_seed)
+            groups.setdefault(group, []).append((index, task))
         batches = []
         for cells in groups.values():
             for start in range(0, len(cells), self.max_batch):
@@ -279,7 +284,7 @@ class Scheduler:
         self, batch: list[tuple[int, MatrixTask]], pending: set[Future]
     ) -> list[dict]:
         """Run one batch on the pool, retrying once across a pool restart."""
-        label = f"{batch[0][1].workload}[{len(batch)}]"
+        label = f"{getattr(batch[0][1], 'workload', 'config_fuzz')}[{len(batch)}]"
         for attempt in (1, 2):
             generation = self.pool.generation
             future = self.pool.submit_batch(batch)

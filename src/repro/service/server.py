@@ -108,11 +108,12 @@ class Service:
 
     # ----------------------------------------------------------- lifecycle
 
-    async def start(self) -> None:
-        loop = asyncio.get_running_loop()
-        self.worker_pids = await loop.run_in_executor(None, self.pool.warm)
-        self.registry.gauge("service.workers").set(len(self.worker_pids))
-        self.scheduler.start()
+    async def start(self, on_bound=None) -> None:
+        # Bind (and announce) the listener *before* the slow pool warm-up:
+        # wrappers parsing the "listening on" line get the real ephemeral
+        # port immediately, with no race against worker spawning.  Jobs
+        # admitted during the warm-up sit in the queue until the
+        # scheduler starts below.
         self._server = await asyncio.start_server(
             self._handle_connection,
             self.config.host,
@@ -125,6 +126,13 @@ class Service:
             self.config.host, self.port, self.config.workers,
             self.config.max_queue,
         )
+        if on_bound is not None:
+            on_bound(self)
+        loop = asyncio.get_running_loop()
+        self.worker_pids = await loop.run_in_executor(None, self.pool.warm)
+        self.registry.gauge("service.workers").set(len(self.worker_pids))
+        self.scheduler.start()
+        self.scheduler.wake()  # anything admitted while the pool warmed
 
     def request_shutdown(self) -> None:
         """Signal-handler entry: start one drain-and-stop task."""
@@ -254,6 +262,9 @@ class Service:
                 code=ERR_QUEUE_FULL,
                 message=str(exc),
                 queue_depth=exc.depth,
+                # Deeper queue -> longer suggested backoff, capped; clients
+                # (and the cluster gateway) jitter around this.
+                retry_after=round(min(10.0, 0.5 + 0.05 * exc.depth), 2),
             )
         self.registry.counter("service.jobs_submitted").inc()
         self.registry.gauge("service.queue_depth").set(self.queue.depth)
@@ -261,7 +272,21 @@ class Service:
         return job
 
     @staticmethod
-    def _resolve_cell(spec) -> MatrixTask:
+    def _resolve_cell(spec):
+        if getattr(spec, "kind", "experiment") == "config_fuzz":
+            from repro.fuzz.campaign import ConfigPairTask
+
+            payload = spec.payload or {}
+            campaign_seed = payload.get("campaign_seed")
+            index = payload.get("index")
+            if not isinstance(campaign_seed, int) or not isinstance(index, int):
+                raise ValueError(
+                    "config_fuzz cell needs integer campaign_seed and index "
+                    f"in payload, got {payload!r}"
+                )
+            return ConfigPairTask(campaign_seed=campaign_seed, index=index)
+        if getattr(spec, "kind", "experiment") != "experiment":
+            raise ValueError(f"unknown cell kind {spec.kind!r}")
         from repro.harness.experiment import CONFIGS
         from repro.workloads import get_workload
 
@@ -395,13 +420,18 @@ async def serve_forever(
     assert worker hygiene after shutdown.
     """
     service = Service(config, registry=registry)
-    await service.start()
-    print(
-        f"[repro.service] listening on {config.host}:{service.port} "
-        f"(workers={config.workers}, max-queue={config.max_queue})",
-        file=sys.stderr,
-        flush=True,
-    )
+
+    def announce(bound: Service) -> None:
+        # Printed the moment the socket is bound (before the multi-second
+        # pool warm-up), so wrappers never race the port discovery.
+        print(
+            f"[repro.service] listening on {config.host}:{bound.port} "
+            f"(workers={config.workers}, max-queue={config.max_queue})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    await service.start(on_bound=announce)
     print(
         "[repro.service] worker pids: "
         + " ".join(str(pid) for pid in service.worker_pids),

@@ -1,0 +1,272 @@
+"""Shared fixtures: a gateway fronting fake in-process runner nodes.
+
+The gateway's routing/stealing/eviction logic is deterministic given
+what the nodes do, so these tests replace real ``serve`` processes with
+:class:`FakeRunner` — a tiny asyncio server speaking the JSON-lines
+protocol whose behavior (delays, sheds, mid-stream death, failed
+probes) each test scripts directly.  Gateway and runners all live on
+one background thread's event loop; tests drive them over real
+loopback sockets with the blocking client, exactly like the service
+tests do.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.cluster.gateway import Gateway, GatewayConfig
+from repro.metrics import MetricsRegistry
+from repro.service.protocol import (
+    CellResult,
+    ErrorResponse,
+    HealthRequest,
+    HealthResponse,
+    JobDone,
+    MetricsRequest,
+    MetricsResponse,
+    SubmitRequest,
+    SubmittedResponse,
+    decode_request,
+    encode_message,
+)
+
+
+class FakeRunner:
+    """A scriptable stand-in for one ``repro.service`` node.
+
+    Serves every submitted cell instantly with a deterministic entry
+    that names this node, so tests can assert exactly where each cell
+    ran and that the gateway forwarded entries verbatim.  Knobs:
+
+    * ``delay`` — seconds per cell (builds backlog for steal tests);
+    * ``shed_remaining`` — answer that many submits with ``queue_full``;
+    * ``die_after_cells`` — abort the connection mid-stream after N
+      cells of the next submit, then fail health probes (stays dead
+      until ``health_ok`` is set back to True);
+    * ``health_ok`` — when False, probe connections close unanswered.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.port: int | None = None
+        self.server = None
+        self.submits = 0
+        self.cells_served = 0
+        self.served: list[tuple[str, str]] = []
+        self.entries_by_cell: dict[tuple[str, str], dict] = {}
+        self.delay = 0.0
+        self.shed_remaining = 0
+        self.retry_after = 0.01
+        self.die_after_cells: int | None = None
+        self.health_ok = True
+        self.queue_depth = 0
+        self.workers = 1
+        self.counters: dict = {}
+
+    @property
+    def address(self) -> str:
+        return f"127.0.0.1:{self.port}"
+
+    async def start(self):
+        self.server = await asyncio.start_server(self._handle, "127.0.0.1", 0)
+        self.port = self.server.sockets[0].getsockname()[1]
+
+    async def stop(self):
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+
+    async def _handle(self, reader, writer):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                request = decode_request(line)
+                if isinstance(request, HealthRequest):
+                    if not self.health_ok:
+                        break  # close unanswered: probe sees EOF
+                    writer.write(
+                        encode_message(
+                            HealthResponse(
+                                ok=True,
+                                queue_depth=self.queue_depth,
+                                queue_capacity=64,
+                                workers=self.workers,
+                            )
+                        )
+                    )
+                    await writer.drain()
+                elif isinstance(request, MetricsRequest):
+                    writer.write(
+                        encode_message(
+                            MetricsResponse(counters=dict(self.counters))
+                        )
+                    )
+                    await writer.drain()
+                elif isinstance(request, SubmitRequest):
+                    if not await self._submit(request, writer):
+                        return  # aborted mid-stream; transport is gone
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # silent-ok: peer (the gateway) closed on us
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass  # silent-ok: already torn down
+
+    async def _submit(self, request, writer) -> bool:
+        self.submits += 1
+        if self.shed_remaining > 0:
+            self.shed_remaining -= 1
+            writer.write(
+                encode_message(
+                    ErrorResponse(
+                        code="queue_full",
+                        message="fake queue full",
+                        queue_depth=64,
+                        retry_after=self.retry_after,
+                    )
+                )
+            )
+            await writer.drain()
+            return True
+        job_id = f"{self.name}-job-{self.submits}"
+        writer.write(
+            encode_message(
+                SubmittedResponse(job_id=job_id, cells_total=len(request.cells))
+            )
+        )
+        await writer.drain()
+        for i, spec in enumerate(request.cells):
+            if self.die_after_cells is not None and i >= self.die_after_cells:
+                self.die_after_cells = None
+                self.health_ok = False  # stay dead for the health loop too
+                writer.transport.abort()
+                return False
+            if self.delay:
+                await asyncio.sleep(self.delay)
+            entry = {
+                "workload": spec.workload,
+                "config": spec.config,
+                "node": self.name,
+                "cycles": 1000 + i,
+            }
+            self.served.append((spec.workload, spec.config))
+            self.entries_by_cell[(spec.workload, spec.config)] = entry
+            self.cells_served += 1
+            writer.write(
+                encode_message(
+                    CellResult(
+                        job_id=job_id,
+                        index=i,
+                        workload=spec.workload,
+                        config=spec.config,
+                        cached=False,
+                        seconds=0.0,
+                        entry=entry,
+                    )
+                )
+            )
+            await writer.drain()
+        writer.write(
+            encode_message(
+                JobDone(
+                    job_id=job_id,
+                    state="done",
+                    cells_total=len(request.cells),
+                    cells_computed=len(request.cells),
+                )
+            )
+        )
+        await writer.drain()
+        return True
+
+
+class ClusterHarness:
+    """Gateway + N fake runners on one background-thread event loop."""
+
+    def __init__(self, runner_count: int = 2, **config_kwargs):
+        self.registry = MetricsRegistry()
+        self.runner_count = runner_count
+        self.config_kwargs = config_kwargs
+        self.runners: list[FakeRunner] = []
+        self.gateway: Gateway | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self.loop = asyncio.get_running_loop()
+        try:
+            for i in range(self.runner_count):
+                runner = FakeRunner(f"runner{i}")
+                await runner.start()
+                self.runners.append(runner)
+            kwargs = dict(
+                port=0,
+                probe_interval=0.1,
+                probe_timeout=2.0,
+                node_timeout=30.0,
+            )
+            kwargs.update(self.config_kwargs)
+            config = GatewayConfig(
+                nodes=tuple(r.address for r in self.runners), **kwargs
+            )
+            self.gateway = Gateway(config, registry=self.registry)
+            await self.gateway.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            raise
+        self._ready.set()
+        await self.gateway.wait_closed()
+        for runner in self.runners:
+            await runner.stop()
+
+    def start(self) -> "ClusterHarness":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise TimeoutError("cluster did not start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError("cluster failed to start") from self._startup_error
+        return self
+
+    @property
+    def port(self) -> int:
+        assert self.gateway is not None and self.gateway.port is not None
+        return self.gateway.port
+
+    def counter(self, name: str) -> float:
+        return self.registry.counter(name).value
+
+    def stop(self, timeout: float = 30):
+        if self.loop is not None and self._thread.is_alive():
+            self.loop.call_soon_threadsafe(self.gateway.request_shutdown)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("cluster thread did not shut down")
+
+
+@pytest.fixture
+def cluster_factory():
+    """Build ClusterHarness instances that always get torn down."""
+    harnesses = []
+
+    def build(runner_count: int = 2, **config_kwargs) -> ClusterHarness:
+        harness = ClusterHarness(runner_count, **config_kwargs)
+        harnesses.append(harness)
+        return harness.start()
+
+    yield build
+    for harness in harnesses:
+        try:
+            harness.stop()
+        except TimeoutError:
+            pass  # silent-ok: teardown best-effort; the test already failed

@@ -1,0 +1,232 @@
+"""`cluster spawn` end-to-end: real gateway + real runner subprocesses.
+
+The acceptance path for the cluster (and what the CI `cluster-smoke`
+job mirrors): spawn a two-runner cluster, push fig6 cells through the
+gateway with the unchanged `submit` CLI, and assert the served entries
+are byte-identical to the serial path; resubmit warm and check the
+ring kept routing local; SIGKILL one runner mid-batch and watch the
+job still complete with every cell correct; finally SIGTERM the
+gateway and assert it drains, reaping every runner — no orphans.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+import pytest
+
+from repro.artifacts.runner import MatrixTask, cell_key, compute_cell
+from repro.cluster.ring import HashRing
+from repro.harness.experiment import CONFIGS
+from repro.metrics.ledger import result_entry
+from repro.service.client import Client
+from repro.service.protocol import CellSpec
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+FIG6_CELLS = [CellSpec("gzip", "IC"), CellSpec("gzip", "TC")]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def canonical(entry) -> bytes:
+    return json.dumps(entry, sort_keys=True).encode()
+
+
+def serial_entry(spec: CellSpec) -> dict:
+    result, _telemetry, _snapshot = compute_cell(
+        MatrixTask(spec.workload, CONFIGS[spec.config]), store=None
+    )
+    return result_entry(spec.workload, spec.config, result)
+
+
+class _Cluster:
+    """A `cluster spawn` subprocess plus its parsed startup facts."""
+
+    def __init__(self, tmp: Path):
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.harness", "cluster", "spawn",
+                "--runners", "2", "--workers-per-runner", "1",
+                "--port", "0",
+                "--cache-dir", str(tmp / "stores"),
+                "--probe-interval", "1",
+                "--drain-timeout", "60",
+            ],
+            env=_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.runner_pids: list[int] = []
+        self.nodes: list[str] = []
+        self.port: int | None = None
+        self.stderr_tail: deque = deque(maxlen=1000)
+        deadline = time.time() + 180
+        while time.time() < deadline and (
+            self.port is None or not self.runner_pids
+        ):
+            line = self.proc.stderr.readline()
+            if not line:
+                raise AssertionError(
+                    f"cluster exited during startup (rc={self.proc.poll()}); "
+                    f"stderr tail:\n{''.join(self.stderr_tail)}"
+                )
+            self.stderr_tail.append(line)
+            if "runner pids:" in line:
+                self.runner_pids = [
+                    int(p) for p in line.split("runner pids:")[1].split()
+                ]
+            match = re.search(r"listening on ([\w.\-]+):(\d+) \(nodes=([^)]+)\)", line)
+            if match:
+                self.port = int(match.group(2))
+                self.nodes = match.group(3).split(",")
+        assert self.port is not None and self.runner_pids, "startup not seen"
+        assert len(self.runner_pids) == len(self.nodes) == 2
+        # Runner pids and node addresses are printed in spawn order, so
+        # index i of one maps to index i of the other.
+        self.ring = HashRing(self.nodes)
+        self._drainer = threading.Thread(target=self._drain, daemon=True)
+        self._drainer.start()
+
+    def _drain(self):
+        for line in self.proc.stderr:
+            self.stderr_tail.append(line)
+
+    def owner_index(self, spec: CellSpec) -> int:
+        key = cell_key(spec.workload, spec.config, spec.scale, spec.seed)
+        return self.nodes.index(self.ring.owner(key))
+
+    def close(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+        self.proc.wait(timeout=15)
+        self._drainer.join(timeout=5)
+        self.proc.stderr.close()
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    instance = _Cluster(tmp_path_factory.mktemp("cluster"))
+    yield instance
+    instance.close()
+
+
+@pytest.fixture(scope="module")
+def cold_entries(cluster):
+    """Fig6 through the gateway with the unchanged `submit` CLI."""
+    submit = subprocess.run(
+        [
+            sys.executable, "-m", "repro.harness", "submit",
+            "--workloads", "gzip", "--configs", "IC,TC",
+            "--port", str(cluster.port), "--json",
+        ],
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert submit.returncode == 0, submit.stderr
+    lines = [json.loads(line) for line in submit.stdout.splitlines() if line]
+    assert len(lines) == 2
+    return {(cell["workload"], cell["config"]): cell for cell in lines}
+
+
+def test_gateway_cells_byte_identical_to_serial(cluster, cold_entries):
+    for spec in FIG6_CELLS:
+        served = cold_entries[(spec.workload, spec.config)]
+        assert not served["cached"]
+        assert canonical(served["entry"]) == canonical(serial_entry(spec))
+
+
+def test_warm_resubmit_cached_with_ring_locality(cluster, cold_entries):
+    client = Client(port=cluster.port, timeout=120)
+    warm = client.submit(FIG6_CELLS)
+    assert warm.ok, warm.error
+    assert warm.cells_cached == 2  # node-local stores answered
+    assert warm.cells_computed == 0
+    for spec, entry in zip(FIG6_CELLS, warm.entries):
+        assert canonical(entry) == canonical(
+            cold_entries[(spec.workload, spec.config)]["entry"]
+        )
+    metrics = client.metrics()
+    routed = metrics.counters["cluster.cells_routed"]
+    routed_owner = metrics.counters["cluster.cells_routed_owner"]
+    assert routed >= 4
+    # ≥90% of every dispatched cell landed on its ring owner.
+    assert routed_owner / routed >= 0.9, (routed_owner, routed)
+    # The aggregated view includes the runners' own service counters.
+    assert metrics.counters.get("service.cells_computed", 0) >= 2
+
+
+def test_killing_one_runner_midbatch_still_completes(cluster, cold_entries):
+    # Pick fresh (uncached) cells all owned by one runner, then SIGKILL
+    # that runner while they are computing cold.
+    candidates = [
+        CellSpec(workload, config)
+        for workload in ("bzip2", "parser", "twolf", "vortex")
+        for config in ("IC", "TC")
+    ]
+    by_owner = {0: [], 1: []}
+    for spec in candidates:
+        by_owner[cluster.owner_index(spec)].append(spec)
+    victim_index = 0 if len(by_owner[0]) >= len(by_owner[1]) else 1
+    cells = by_owner[victim_index]
+    assert len(cells) >= 2, "hash ring assigned every candidate to one node?"
+    victim_pid = cluster.runner_pids[victim_index]
+
+    client = Client(port=cluster.port, timeout=300)
+    box = {}
+
+    def run():
+        box["outcome"] = client.submit(cells, timeout=300)
+
+    worker = threading.Thread(target=run)
+    worker.start()
+    time.sleep(1.0)  # several cold ~1s cells remain in flight at this point
+    os.kill(victim_pid, signal.SIGKILL)
+    worker.join(timeout=300)
+    assert not worker.is_alive(), "job never completed after runner death"
+
+    outcome = box["outcome"]
+    assert outcome.state == "done", outcome.error
+    assert len(outcome.entries) == len(cells)
+    for spec, entry in zip(cells, outcome.entries):
+        assert entry is not None
+        assert canonical(entry) == canonical(serial_entry(spec))
+
+
+def test_sigterm_drains_gateway_and_reaps_runners(cluster, cold_entries):
+    cluster.proc.send_signal(signal.SIGTERM)
+    rc = cluster.proc.wait(timeout=90)
+    assert rc == 0, (
+        f"gateway exited {rc}; stderr tail:\n"
+        + "".join(list(cluster.stderr_tail)[-40:])
+    )
+    for pid in cluster.runner_pids:
+        assert not _alive(pid), f"runner {pid} orphaned after drain"
+    time.sleep(0.2)  # let the drainer thread consume the last lines
+    assert any(
+        "runners terminated" in line for line in cluster.stderr_tail
+    )

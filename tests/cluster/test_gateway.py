@@ -1,0 +1,191 @@
+"""Gateway behavior against scripted fake runners.
+
+Covers the cluster correctness surface: ring-owner routing with
+locality counters, verbatim entry forwarding, work stealing under
+skew, shed backoff, mid-stream node death → eviction → requeue →
+completion, probe-driven rejoin, gateway-level admission control, and
+cluster-wide metrics aggregation.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster.gateway import ring_key
+from repro.service.client import Client, ServiceError, ServiceShed
+from repro.service.protocol import CellSpec
+
+
+def owned_cells(harness, runner, count: int) -> list[CellSpec]:
+    """`count` cells whose ring keys all map to `runner`."""
+    cells = []
+    i = 0
+    while len(cells) < count:
+        spec = CellSpec(workload=f"w{i}", config="IC")
+        if harness.gateway.ring.owner(ring_key(spec)) == runner.address:
+            cells.append(spec)
+        i += 1
+        if i > 10_000:  # pragma: no cover - ring would have to be broken
+            raise AssertionError("could not find enough owned keys")
+    return cells
+
+
+def owner_name(harness, spec: CellSpec) -> str:
+    address = harness.gateway.ring.owner(ring_key(spec))
+    for runner in harness.runners:
+        if runner.address == address:
+            return runner.name
+    raise AssertionError(f"no runner at {address}")
+
+
+def wait_until(predicate, timeout: float = 5.0, interval: float = 0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError("condition not met within timeout")
+
+
+def test_routing_follows_ring_with_full_locality(cluster_factory):
+    # High watermark disables stealing so placement is purely ring-driven.
+    harness = cluster_factory(runner_count=3, steal_watermark=100)
+    cells = [CellSpec(workload=f"w{i}", config="IC") for i in range(12)]
+    expected = [owner_name(harness, spec) for spec in cells]
+
+    client = Client(port=harness.port, timeout=30)
+    outcome = client.submit(cells, priority="interactive")
+
+    assert outcome.state == "done"
+    assert [entry["node"] for entry in outcome.entries] == expected
+    assert harness.counter("cluster.cells_routed") == 12
+    assert harness.counter("cluster.cells_routed_owner") == 12
+    assert harness.counter("cluster.jobs_done") == 1
+
+
+def test_entries_forwarded_verbatim(cluster_factory):
+    harness = cluster_factory(runner_count=2, steal_watermark=100)
+    cells = [CellSpec(workload=f"w{i}", config="TC") for i in range(5)]
+    outcome = Client(port=harness.port, timeout=30).submit(cells)
+    assert outcome.state == "done"
+    for spec, entry in zip(cells, outcome.entries):
+        source = next(
+            r for r in harness.runners if r.name == entry["node"]
+        ).entries_by_cell[(spec.workload, spec.config)]
+        # Byte-level fidelity: the gateway relays the node's entry dict
+        # untouched (same keys, same values), never re-deriving it.
+        assert entry == source
+
+
+def test_work_stealing_rebalances_a_skewed_backlog(cluster_factory):
+    harness = cluster_factory(runner_count=2, steal_watermark=1, max_slice=2)
+    slow = harness.runners[0]
+    slow.delay = 0.3
+    cells = owned_cells(harness, slow, 8)  # 4 slices, all owned by runner0
+
+    outcome = Client(port=harness.port, timeout=60).submit(cells)
+
+    assert outcome.state == "done"
+    assert all(entry is not None for entry in outcome.entries)
+    assert harness.counter("cluster.steals") >= 1
+    assert harness.counter("cluster.cells_stolen") >= 2
+    assert harness.runners[1].cells_served >= 2
+    # Stolen cells ran off-owner, so owner-locality drops below 100%.
+    assert harness.counter("cluster.cells_routed_owner") < harness.counter(
+        "cluster.cells_routed"
+    )
+
+
+def test_node_shed_is_retried_with_backoff(cluster_factory):
+    harness = cluster_factory(runner_count=2, steal_watermark=100)
+    shedder = harness.runners[0]
+    shedder.shed_remaining = 2
+    shedder.retry_after = 0.01
+    cells = owned_cells(harness, shedder, 2)
+
+    outcome = Client(port=harness.port, timeout=30).submit(cells)
+
+    assert outcome.state == "done"
+    assert harness.counter("cluster.node_sheds") == 2
+    assert shedder.submits == 3  # two sheds, then the served attempt
+
+
+def test_midstream_death_evicts_requeues_and_completes(cluster_factory):
+    harness = cluster_factory(runner_count=2, steal_watermark=100)
+    dying, survivor = harness.runners
+    dying.die_after_cells = 1
+    cells = owned_cells(harness, dying, 6)
+
+    outcome = Client(port=harness.port, timeout=30).submit(cells)
+
+    assert outcome.state == "done"
+    assert all(entry is not None for entry in outcome.entries)
+    nodes = [entry["node"] for entry in outcome.entries]
+    assert nodes.count(dying.name) == 1  # the cell delivered before death
+    assert nodes.count(survivor.name) == 5  # requeued remainder
+    assert harness.counter("cluster.evictions") == 1
+    assert harness.counter("cluster.requeues") == 1
+    assert dying.address not in harness.gateway.ring
+
+    # Once the node answers probes again it rejoins the ring.
+    dying.health_ok = True
+    wait_until(lambda: harness.counter("cluster.rejoins") >= 1)
+    wait_until(lambda: dying.address in harness.gateway.ring)
+
+
+def test_gateway_sheds_when_job_table_full(cluster_factory):
+    harness = cluster_factory(runner_count=2, max_jobs=0)
+    client = Client(port=harness.port, timeout=10)
+    with pytest.raises(ServiceShed) as excinfo:
+        client.submit([CellSpec(workload="w0", config="IC")])
+    assert excinfo.value.code == "queue_full"
+    assert excinfo.value.retry_after >= 0.5
+    assert harness.counter("cluster.sheds") == 1
+
+
+def test_bad_priority_and_empty_submit_rejected(cluster_factory):
+    harness = cluster_factory(runner_count=2)
+    client = Client(port=harness.port, timeout=10)
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit([CellSpec(workload="w0", config="IC")], priority="urgent")
+    assert excinfo.value.code == "bad_request"
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit([])
+    assert excinfo.value.code == "bad_request"
+
+
+def test_status_result_cancel_lifecycle(cluster_factory):
+    harness = cluster_factory(runner_count=2)
+    client = Client(port=harness.port, timeout=30)
+    with pytest.raises(ServiceError) as excinfo:
+        client.status("no-such-job")
+    assert excinfo.value.code == "unknown_job"
+
+    outcome = client.submit([CellSpec(workload="w0", config="IC")])
+    assert outcome.state == "done"
+    status = client.status(outcome.job_id)
+    assert status.state == "done"
+    assert status.cells_done == 1
+    result = client.result(outcome.job_id)
+    assert result.entries == outcome.entries
+    # Cancelling a finished job is a no-op reporting the final state.
+    cancelled = client.cancel(outcome.job_id)
+    assert cancelled.state == "done"
+
+
+def test_health_and_metrics_aggregate_across_nodes(cluster_factory):
+    harness = cluster_factory(runner_count=2)
+    client = Client(port=harness.port, timeout=10)
+    # Health probes populate per-node worker counts shortly after start.
+    wait_until(lambda: client.health().workers == 2)
+    health = client.health()
+    assert health.ok
+
+    harness.runners[0].counters = {"service.cells_computed": 5.0}
+    harness.runners[1].counters = {"service.cells_computed": 7.0}
+    metrics = client.metrics()
+    # Node snapshots merge associatively into the cluster-wide view...
+    assert metrics.counters["service.cells_computed"] == 12.0
+    # ...alongside the gateway's own counters.
+    assert "cluster.jobs_submitted" in metrics.counters
+    assert metrics.gauges.get("cluster.nodes_up") == 2

@@ -1,0 +1,133 @@
+"""HTTP/JSON front door: REST endpoints share the gateway's one port."""
+
+import http.client
+import json
+import time
+
+from repro.service.client import Client
+from repro.service.protocol import CellSpec
+
+
+def _request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        decoded = json.loads(raw) if raw else None
+        return response.status, decoded, dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+def test_healthz_and_metrics(cluster_factory):
+    harness = cluster_factory(runner_count=2)
+    status, body, _ = _request(harness.port, "GET", "/healthz")
+    assert status == 200
+    assert body["ok"] is True
+    assert body["type"] == "health"
+
+    status, body, _ = _request(harness.port, "GET", "/metrics")
+    assert status == 200
+    assert "cluster.jobs_submitted" in body["counters"]
+
+
+def test_submit_wait_returns_completed_job(cluster_factory):
+    harness = cluster_factory(runner_count=2)
+    status, body, _ = _request(
+        harness.port,
+        "POST",
+        "/v1/jobs",
+        {
+            "cells": [
+                {"workload": "w0", "config": "IC"},
+                {"workload": "w1", "config": "TC"},
+            ],
+            "priority": "interactive",
+        },
+    )
+    assert status == 200
+    assert body["state"] == "done"
+    assert len(body["entries"]) == 2
+    assert all(entry["node"] for entry in body["entries"])
+    assert body["cells_computed"] == 2
+
+
+def test_async_submit_then_poll_and_fetch(cluster_factory):
+    harness = cluster_factory(runner_count=2)
+    status, body, _ = _request(
+        harness.port,
+        "POST",
+        "/v1/jobs",
+        {"cells": [{"workload": "w0", "config": "IC"}], "wait": False},
+    )
+    assert status == 202
+    job_id = body["job_id"]
+    assert body["cells_total"] == 1
+
+    deadline = time.monotonic() + 10
+    state = None
+    while time.monotonic() < deadline:
+        status, poll, _ = _request(harness.port, "GET", f"/v1/jobs/{job_id}")
+        assert status == 200
+        state = poll["state"]
+        if state == "done":
+            break
+        time.sleep(0.02)
+    assert state == "done"
+
+    status, result, _ = _request(
+        harness.port, "GET", f"/v1/jobs/{job_id}/result"
+    )
+    assert status == 200
+    assert len(result["entries"]) == 1
+
+    status, cancelled, _ = _request(
+        harness.port, "DELETE", f"/v1/jobs/{job_id}"
+    )
+    assert status == 200
+    assert cancelled["state"] == "done"  # finished: cancel is a no-op
+
+
+def test_http_error_mapping(cluster_factory):
+    harness = cluster_factory(runner_count=2)
+    status, body, _ = _request(harness.port, "GET", "/v1/jobs/nope")
+    assert status == 404
+    assert body["error"] == "unknown_job"
+
+    status, body, _ = _request(harness.port, "GET", "/no/such/route")
+    assert status == 404
+
+    status, body, _ = _request(harness.port, "PUT", "/v1/jobs")
+    assert status == 405
+
+    status, body, _ = _request(harness.port, "POST", "/v1/jobs", {"cells": []})
+    assert status == 400
+    assert body["error"] == "bad_request"
+
+
+def test_gateway_shed_maps_to_429_with_retry_after(cluster_factory):
+    harness = cluster_factory(runner_count=2, max_jobs=0)
+    status, body, headers = _request(
+        harness.port,
+        "POST",
+        "/v1/jobs",
+        {"cells": [{"workload": "w0", "config": "IC"}]},
+    )
+    assert status == 429
+    assert body["error"] == "queue_full"
+    assert float(headers["Retry-After"]) >= 0.5
+
+
+def test_line_protocol_and_http_share_one_port(cluster_factory):
+    harness = cluster_factory(runner_count=2)
+    # JSON-lines client first...
+    outcome = Client(port=harness.port, timeout=30).submit(
+        [CellSpec(workload="w0", config="IC")]
+    )
+    assert outcome.state == "done"
+    # ...then HTTP on the very same listener.
+    status, body, _ = _request(harness.port, "GET", "/healthz")
+    assert status == 200 and body["ok"] is True

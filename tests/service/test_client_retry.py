@@ -1,0 +1,129 @@
+"""Client retry semantics: jittered backoff for idempotent requests only."""
+
+import socket
+import threading
+
+import pytest
+
+import repro.service.client as client_mod
+from repro.service.client import Client, ServiceError, ServiceShed, _backoff_delay
+from repro.service.protocol import (
+    CellSpec,
+    ErrorResponse,
+    HealthResponse,
+    decode_request,
+    encode_message,
+)
+
+
+@pytest.fixture
+def sleeps(monkeypatch):
+    """Capture backoff sleeps instead of actually waiting."""
+    recorded = []
+    monkeypatch.setattr(client_mod, "_sleep", recorded.append)
+    return recorded
+
+
+def _refused_port() -> int:
+    """A loopback port with nothing listening on it."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+class _ScriptedServer:
+    """Accept connections one by one, running a handler per connection."""
+
+    def __init__(self, handlers):
+        self.handlers = list(handlers)
+        self.listener = socket.socket()
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(8)
+        self.port = self.listener.getsockname()[1]
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        for handler in self.handlers:
+            conn, _ = self.listener.accept()
+            try:
+                handler(conn)
+            finally:
+                conn.close()
+        self.listener.close()
+
+
+def _drop(conn):
+    """Close immediately: the client sees EOF mid-request."""
+
+
+def _health_ok(conn):
+    reader = conn.makefile("rb")
+    decode_request(reader.readline())
+    conn.sendall(
+        encode_message(
+            HealthResponse(ok=True, queue_depth=0, queue_capacity=4, workers=1)
+        )
+    )
+
+
+def _shed(conn):
+    reader = conn.makefile("rb")
+    decode_request(reader.readline())
+    conn.sendall(
+        encode_message(
+            ErrorResponse(
+                code="queue_full",
+                message="scripted shed",
+                queue_depth=4,
+                retry_after=3.25,
+            )
+        )
+    )
+
+
+def test_backoff_delay_is_jittered_exponential():
+    for attempt in range(4):
+        full = 0.1 * 2**attempt
+        for _ in range(50):
+            delay = _backoff_delay(attempt, base=0.1, cap=2.0)
+            assert full * 0.5 <= delay <= full
+    # The cap bounds late attempts.
+    assert _backoff_delay(attempt=10, base=0.1, cap=2.0) <= 2.0
+
+
+def test_idempotent_request_retries_then_raises(sleeps):
+    client = Client(port=_refused_port(), timeout=2, retries=2)
+    with pytest.raises(ServiceError) as excinfo:
+        client.health()
+    assert excinfo.value.code == "unreachable"
+    assert len(sleeps) == 2  # one backoff per retry, then the final raise
+    assert sleeps[0] < sleeps[1] * 2  # jitter aside, delays grow
+
+
+def test_idempotent_request_recovers_after_transient_failure(sleeps):
+    server = _ScriptedServer([_drop, _health_ok])
+    client = Client(port=server.port, timeout=5, retries=3)
+    health = client.health()
+    assert health.ok
+    assert len(sleeps) == 1  # exactly one retry was needed
+
+
+def test_queue_full_is_typed_shed_and_never_retried(sleeps):
+    server = _ScriptedServer([_shed])
+    client = Client(port=server.port, timeout=5, retries=3)
+    with pytest.raises(ServiceShed) as excinfo:
+        client.submit([CellSpec(workload="gzip", config="IC")])
+    assert excinfo.value.code == "queue_full"
+    assert excinfo.value.retry_after == 3.25
+    assert sleeps == []  # sheds are the caller's decision, not a retry loop
+
+
+def test_submit_is_never_retried_on_connection_failure(sleeps):
+    client = Client(port=_refused_port(), timeout=2, retries=3)
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit([CellSpec(workload="gzip", config="IC")])
+    assert excinfo.value.code == "unreachable"
+    assert sleeps == []  # a submit may have side effects: no auto-retry

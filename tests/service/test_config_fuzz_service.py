@@ -1,0 +1,40 @@
+"""Service-routed config fuzzing: same digest as a local campaign.
+
+The reproducibility contract of `fuzz config run --service`: shipping
+(campaign_seed, index) pairs through the submit path — where the warm
+pool regenerates each pair from its seeds — must fold into exactly the
+digest a local single-process run produces.
+"""
+
+import pytest
+
+from repro.fuzz.campaign import (
+    ConfigCampaignConfig,
+    run_config_campaign,
+)
+from repro.fuzz.generator import GeneratorConfig
+from repro.service.client import Client
+
+
+@pytest.fixture(scope="module")
+def client(real_service):
+    return Client(port=real_service.port, timeout=120.0)
+
+
+def test_service_campaign_digest_matches_local(client):
+    config = ConfigCampaignConfig(seed=7, iterations=3)
+    local = run_config_campaign(config)
+    remote = run_config_campaign(config, client=client)
+    assert remote.pairs == local.pairs == 3
+    assert remote.digest == local.digest
+    assert remote.simulations == local.simulations
+    assert remote.frames_fetched == local.frames_fetched
+    assert remote.optimized_slower == local.optimized_slower
+
+
+def test_service_campaign_rejects_tuned_generator(client):
+    config = ConfigCampaignConfig(
+        seed=7, iterations=1, generator=GeneratorConfig(max_body_ops=8)
+    )
+    with pytest.raises(ValueError, match="default"):
+        run_config_campaign(config, client=client)
