@@ -1,0 +1,45 @@
+"""Autotuning sweep throughput: tune cells/sec, serial vs parallel.
+
+Each cell is one full trace-driven simulation at the smoke scale, so
+cells/sec is what sizes sweep budgets — the CI smoke's 6 points, the
+default space's 19.  Runs uncached (no store) so the number measures
+simulation throughput, not artifact-store hit rate; the digest check
+rides along because reproducibility across ``jobs`` is part of the
+contract being benched.  With ``--json PATH`` both rates are written
+for EXPERIMENTS.md.
+"""
+
+from repro.tune.engine import SweepSettings, run_sweep
+from repro.tune.space import smoke_space
+
+_SCALE = 0
+_SPACE = smoke_space(("gzip",))
+
+
+def _sweep(jobs: int):
+    return run_sweep(_SPACE, SweepSettings(scale=_SCALE, jobs=jobs))
+
+
+def _record(result) -> dict:
+    return {
+        "jobs": result.jobs,
+        "cells": len(result.records),
+        "cells_per_sec": round(len(result.records) / result.seconds, 2),
+        "digest": result.digest,
+    }
+
+
+def test_bench_tune_sweep_serial(benchmark, bench_records):
+    result = benchmark.pedantic(lambda: _sweep(1), rounds=2, iterations=1)
+    assert len(result.records) == 6
+    assert result.cells_computed == 6  # storeless: nothing cached
+    bench_records["tune_sweep_serial"] = _record(result)
+
+
+def test_bench_tune_sweep_parallel(benchmark, bench_records):
+    result = benchmark.pedantic(lambda: _sweep(4), rounds=2, iterations=1)
+    assert len(result.records) == 6
+    bench_records["tune_sweep_jobs4"] = _record(result)
+    serial = bench_records.get("tune_sweep_serial")
+    if serial is not None:
+        assert serial["digest"] == result.digest

@@ -96,6 +96,7 @@ _COUNTERS = (
     "cluster.jobs_failed",
     "cluster.jobs_timeout",
     "cluster.jobs_cancelled",
+    "cluster.cancels_propagated",
     "cluster.sheds",
     "cluster.cells_routed",
     "cluster.cells_routed_owner",
@@ -134,6 +135,20 @@ def ring_key(spec: CellSpec) -> str:
         return (
             f"configfuzz:{payload.get('campaign_seed')}:{payload.get('index')}"
         )
+    if spec.kind == "tune":
+        from repro.artifacts.runner import result_key
+        from repro.tune.space import TunePoint
+
+        try:
+            point = TunePoint.from_json(spec.payload or {})
+            return result_key(
+                spec.workload, point.experiment_config(), spec.scale, spec.seed
+            )
+        except (KeyError, TypeError, ValueError):
+            # Unresolvable point: route on the literal payload; the
+            # owning node rejects the cell with the real error.
+            payload = spec.payload or {}
+            return f"tune:{spec.workload}:{sorted(payload.items())!r}"
     from repro.artifacts.runner import cell_key
 
     try:
@@ -166,6 +181,9 @@ class Slice:
     job: Job
     cells: list[tuple[int, CellSpec, str]]
     retries: int = 0
+    #: The node-side sub-job id while this slice is streaming (set from
+    #: the node's ``submitted`` ack); lets a client cancel reach the node.
+    node_job_id: str | None = None
 
     @property
     def priority(self) -> str:
@@ -524,17 +542,27 @@ class Gateway:
 
             link = node.link(timeout=self.config.node_timeout)
             done = await self._submit_with_backoff(
-                link, job, [spec for _, spec, _ in todo], on_cell
+                link, job, [spec for _, spec, _ in todo], on_cell, slice_
             )
             if done.state != jobstates.DONE:
-                self._fail_job(
-                    job,
-                    done.error
-                    or f"node {node.address} finished a slice as {done.state}",
-                    state=done.state
-                    if done.state in (jobstates.TIMEOUT,)
-                    else jobstates.FAILED,
-                )
+                if (
+                    job.cancel_requested
+                    and done.state == jobstates.CANCELLED
+                ):
+                    # The cancel we propagated came back around: not a
+                    # failure.  _slice_done -> _maybe_complete finishes
+                    # the job as CANCELLED once every slice accounts.
+                    pass
+                else:
+                    self._fail_job(
+                        job,
+                        done.error
+                        or f"node {node.address} finished a slice as "
+                        f"{done.state}",
+                        state=done.state
+                        if done.state in (jobstates.TIMEOUT,)
+                        else jobstates.FAILED,
+                    )
         except NodeUnreachable as exc:
             log.warning("node %s failed mid-slice: %s", node.address, exc)
             self._evict(node, str(exc))
@@ -545,11 +573,26 @@ class Gateway:
             self._fail_job(job, f"node {node.address}: {exc}")
         finally:
             node.inflight = None
+            slice_.node_job_id = None
 
     async def _submit_with_backoff(
-        self, link: NodeLink, job: Job, specs: list[CellSpec], on_cell
+        self,
+        link: NodeLink,
+        job: Job,
+        specs: list[CellSpec],
+        on_cell,
+        slice_: Slice,
     ) -> JobDone:
         """Submit one slice, backing off on ``queue_full`` sheds."""
+
+        def on_submitted(submitted) -> None:
+            slice_.node_job_id = submitted.job_id
+            # A cancel may have arrived in the window between dispatch
+            # and the node's ack; catch up now rather than letting the
+            # sub-job run to completion.
+            if job.cancel_requested:
+                self._spawn_cancel(link.address, submitted.job_id)
+
         while True:
             try:
                 return await link.submit(
@@ -558,6 +601,7 @@ class Gateway:
                     timeout=job.timeout,
                     client=f"gateway/{job.client}",
                     on_cell=on_cell,
+                    on_submitted=on_submitted,
                 )
             except NodeShed as exc:
                 self.registry.counter("cluster.node_sheds").inc()
@@ -773,10 +817,40 @@ class Gateway:
                     state.outstanding -= dropped
         if not inflight:
             self._finish(job, jobstates.CANCELLED)
-        # else: the streaming slice finishes, then _maybe_complete sees
-        # the cancel flag (node-side sub-jobs run to completion; their
-        # results land in the nodes' stores either way).
+            return CancelledResponse(job_id=job.job_id, state=job.state)
+        # Propagate to every node whose in-flight slice belongs to this
+        # job: the node finishes its sub-job as cancelled between batch
+        # completions instead of running the remaining cells, and the
+        # streaming _run_slice sees the cancelled JobDone as expected.
+        # _maybe_complete then finishes the job once slices account.
+        for node in self.nodes.values():
+            slice_ = node.inflight
+            if (
+                slice_ is not None
+                and slice_.job is job
+                and slice_.node_job_id is not None
+            ):
+                self._spawn_cancel(node.address, slice_.node_job_id)
         return CancelledResponse(job_id=job.job_id, state=job.state)
+
+    def _spawn_cancel(self, address: str, node_job_id: str) -> None:
+        asyncio.get_running_loop().create_task(
+            self._propagate_cancel(address, node_job_id)
+        )
+
+    async def _propagate_cancel(self, address: str, node_job_id: str) -> None:
+        link = NodeLink(address, timeout=self.config.probe_timeout)
+        try:
+            await link.request(CancelRequest(job_id=node_job_id))
+        except NodeError as exc:
+            # Best-effort: a node we cannot reach finishes the sub-job
+            # on its own and the health loop handles the node itself.
+            log.warning(
+                "cancel propagation to %s (job %s) failed: %s",
+                address, node_job_id, exc,
+            )
+        else:
+            self.registry.counter("cluster.cancels_propagated").inc()
 
     def health(self) -> HealthResponse:
         nodes_up = sum(1 for node in self.nodes.values() if node.up)

@@ -139,11 +139,16 @@ class NodeLink:
         timeout: float | None = None,
         client: str = "gateway",
         on_cell=None,
+        on_submitted=None,
     ) -> JobDone:
         """Submit one sub-job and stream it to completion.
 
         ``on_cell(CellResult)`` fires per streamed cell (awaited if it
         returns an awaitable); returns the final :class:`JobDone`.
+        ``on_submitted(SubmittedResponse)`` fires once, as soon as the
+        node acknowledges the sub-job — the gateway records the
+        node-side ``job_id`` there so a client cancel can be propagated
+        to the node while the slice is still streaming.
         """
         request = SubmitRequest(
             cells=list(cells), priority=priority, timeout=timeout, client=client
@@ -157,6 +162,8 @@ class NodeLink:
                 raise NodeError(
                     "protocol", f"expected 'submitted', got {submitted.TYPE!r}"
                 )
+            if on_submitted is not None:
+                on_submitted(submitted)
             while True:
                 message = await self._read_message(reader)
                 if isinstance(message, CellResult):

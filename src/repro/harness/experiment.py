@@ -128,7 +128,9 @@ def run_experiment(
     if config.frontend == "icache":
         sequencer = ICacheSequencer(injected, config.processor)
     elif config.frontend == "tcache":
-        sequencer = TraceCacheSequencer(injected, config.processor)
+        sequencer = TraceCacheSequencer(
+            injected, config.processor, fill_config=config.processor.fill_unit
+        )
     elif config.frontend == "replay":
         optimizer = (
             FrameOptimizer(config.optimizer, metrics=registry)

@@ -12,6 +12,8 @@ Three pieces:
 
 from repro.metrics.ledger import (
     LEDGER_VERSION,
+    SUPPORTED_VERSIONS,
+    SWEEP_LEDGER_VERSION,
     LedgerError,
     build_run_ledger,
     format_ledger,
@@ -36,6 +38,8 @@ __all__ = [
     "LEDGER_VERSION",
     "LedgerError",
     "MetricsRegistry",
+    "SUPPORTED_VERSIONS",
+    "SWEEP_LEDGER_VERSION",
     "build_run_ledger",
     "format_ledger",
     "get_registry",

@@ -69,8 +69,12 @@ class CellSpec:
     and the server re-derives the (program, config) pair from those
     seeds — deterministic regeneration instead of shipping arbitrary
     configurations, which keeps v1's frozen config vocabulary intact.
-    Old servers reject unknown kinds with ``bad_request``; old clients
-    never send them (additive evolution within v1).
+    ``"tune"`` cells carry a :meth:`repro.tune.space.TunePoint.to_json`
+    dict in ``payload`` and ``config`` holds the point's deterministic
+    label; the server lowers the payload onto the same ``MatrixTask``
+    a local sweep builds, so served entries match local ones byte for
+    byte.  Old servers reject unknown kinds with ``bad_request``; old
+    clients never send them (additive evolution within v1).
     """
 
     workload: str

@@ -285,6 +285,29 @@ class Service:
                     f"in payload, got {payload!r}"
                 )
             return ConfigPairTask(campaign_seed=campaign_seed, index=index)
+        if getattr(spec, "kind", "experiment") == "tune":
+            from repro.tune.space import TunePoint
+            from repro.workloads import get_workload
+
+            get_workload(spec.workload)  # raises KeyError with the known set
+            if not spec.payload:
+                raise ValueError(
+                    "tune cell needs a TunePoint payload (a missing payload "
+                    "would silently run the default point)"
+                )
+            # from_json validates and raises ConfigError (a ValueError),
+            # so malformed points bounce as bad_request at admission
+            # instead of failing in a pool worker mid-sweep.
+            try:
+                point = TunePoint.from_json(spec.payload)
+            except TypeError as exc:
+                raise ValueError(f"bad tune point payload: {exc}") from exc
+            return MatrixTask(
+                spec.workload,
+                point.experiment_config(),
+                scale=spec.scale,
+                seed=spec.seed,
+            )
         if getattr(spec, "kind", "experiment") != "experiment":
             raise ValueError(f"unknown cell kind {spec.kind!r}")
         from repro.harness.experiment import CONFIGS

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.timing.config import FillUnitConfig
 from repro.trace.injector import InjectedInstruction
+
+__all__ = ["FillUnit", "FillUnitConfig", "TraceLine"]
 
 
 @dataclass
@@ -26,12 +29,6 @@ class TraceLine:
     @property
     def x86_count(self) -> int:
         return len(self.x86_pcs)
-
-
-@dataclass
-class FillUnitConfig:
-    max_uops: int = 32
-    max_branches: int = 3
 
 
 class FillUnit:

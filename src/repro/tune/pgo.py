@@ -1,0 +1,136 @@
+"""Profile-guided frame construction: feed a sweep back into a run.
+
+``tune pgo`` reads a prior sweep's records (from a sweep report file or
+a v2 run ledger), picks the best frame-construction parameters *per
+workload* from the profile, then runs a baseline (the paper's default
+RPO operating point) and the tuned configuration side by side and
+reports the per-workload IPC delta.  Cells the sweep already computed
+come straight out of the artifact store, so the second run typically
+only pays for the baseline cells the sweep happened not to contain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.artifacts.runner import MatrixTask, run_matrix
+from repro.artifacts.store import ArtifactStore
+from repro.metrics import MetricsRegistry
+from repro.tune.engine import SweepSettings, TuneError
+from repro.tune.space import FULL_PASS_SPEC, TunePoint
+
+__all__ = ["format_pgo", "run_pgo", "select_frame_params"]
+
+
+def select_frame_params(records: list[dict]) -> dict[str, TunePoint]:
+    """Best frame-construction parameters per workload, from a profile.
+
+    Only replay points that ran the optimizer qualify (PGO tunes *how
+    frames are built*, with the full pipeline held fixed); ties break
+    on the point label so selection is deterministic.
+    """
+    best: dict[str, tuple[float, str, TunePoint]] = {}
+    for record in records:
+        point = record["point"]
+        if point["frontend"] != "replay" or point["pass_spec"] is None:
+            continue
+        candidate = TunePoint.from_json(point)
+        ipc = record["entry"]["ipc_x86"]
+        key = (-ipc, candidate.label())
+        workload = record["workload"]
+        if workload not in best or key < best[workload][:2]:
+            best[workload] = (*key, candidate)
+    if not best:
+        raise TuneError(
+            "profile contains no optimized replay cells to select from"
+        )
+    # PGO carries over the constructor knobs only: the pass pipeline is
+    # pinned at the full spec so the delta isolates frame construction.
+    return {
+        workload: replace(
+            entry[2], pass_spec=FULL_PASS_SPEC, frontend="replay"
+        )
+        for workload, entry in best.items()
+    }
+
+
+def run_pgo(
+    records: list[dict],
+    settings: SweepSettings | None = None,
+    store: ArtifactStore | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> dict:
+    """Run baseline-vs-tuned per workload and report the delta table."""
+    settings = settings or SweepSettings()
+    selected = select_frame_params(records)
+    baseline = TunePoint()  # the paper's default RPO operating point
+    tasks: list[MatrixTask] = []
+    plan: list[tuple[str, str, TunePoint]] = []
+    for workload in sorted(selected):
+        for role, point in (("base", baseline), ("tuned", selected[workload])):
+            plan.append((workload, role, point))
+            tasks.append(
+                MatrixTask(
+                    workload=workload,
+                    config=point.experiment_config(),
+                    scale=settings.scale,
+                    seed=settings.trace_seed,
+                )
+            )
+    run = run_matrix(tasks, jobs=settings.jobs, store=store, metrics=metrics)
+    cells: dict[tuple[str, str], tuple[TunePoint, float]] = {}
+    for (workload, role, point), result in zip(plan, run.results):
+        cells[(workload, role)] = (point, result.ipc_x86)
+    rows = []
+    for workload in sorted(selected):
+        base_point, base_ipc = cells[(workload, "base")]
+        tuned_point, tuned_ipc = cells[(workload, "tuned")]
+        delta = (tuned_ipc / base_ipc - 1.0) if base_ipc > 0 else 0.0
+        rows.append(
+            {
+                "workload": workload,
+                "base_ipc": round(base_ipc, 6),
+                "tuned_ipc": round(tuned_ipc, 6),
+                "delta": round(delta, 6),
+                "params": {
+                    "frame_max_uops": tuned_point.frame_max_uops,
+                    "promotion_threshold": tuned_point.promotion_threshold,
+                    "backedge_close_uops": tuned_point.backedge_close_uops,
+                },
+                "tuned_label": tuned_point.label(),
+            }
+        )
+    if metrics is not None:
+        metrics.counter("tune.pgo_runs").inc()
+    deltas = [row["delta"] for row in rows]
+    return {
+        "schema": "repro-uopt/tune-pgo",
+        "version": 1,
+        "baseline_label": baseline.label(),
+        "rows": rows,
+        "mean_delta": round(sum(deltas) / len(deltas), 6) if deltas else 0.0,
+    }
+
+
+def format_pgo(report: dict) -> str:
+    """Pretty per-workload delta table."""
+    lines = []
+    header = (
+        f"{'workload':<10} {'base IPC':>9} {'tuned IPC':>10} {'delta':>8}  "
+        f"tuned params"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in report["rows"]:
+        params = row["params"]
+        lines.append(
+            f"{row['workload']:<10} {row['base_ipc']:>9.3f} "
+            f"{row['tuned_ipc']:>10.3f} {row['delta'] * 100:>+7.2f}%  "
+            f"frame={params['frame_max_uops']} "
+            f"promo={params['promotion_threshold']} "
+            f"backedge={params['backedge_close_uops']}"
+        )
+    lines.append(
+        f"{'mean':<10} {'':>9} {'':>10} {report['mean_delta'] * 100:>+7.2f}%"
+    )
+    return "\n".join(lines)

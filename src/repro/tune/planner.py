@@ -1,0 +1,58 @@
+"""Sweep planning: turn a TuneSpace into a deterministic point list.
+
+Three strategies, all pure functions of ``(space, seed, samples)`` so a
+plan replans identically on every process, node, and ``--jobs`` level:
+
+* ``grid`` — the full cross product in axis-major order;
+* ``random`` — a seeded sample of the grid (without replacement),
+  returned in grid order so the sweep digest is sample-set dependent
+  but iteration-order independent;
+* successive halving lives in the engine (it needs cell results
+  between rounds), but draws its initial population from
+  :func:`plan_random`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from repro.tune.space import TunePoint, TuneSpace
+
+__all__ = ["plan_grid", "plan_points", "plan_random"]
+
+
+def _derive_rng(seed: int) -> random.Random:
+    """Domain-separated RNG so tune seeds never collide with the fuzz
+    campaign's program/config seed streams."""
+    digest = hashlib.sha256(f"repro.tune:plan:{seed}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def plan_grid(space: TuneSpace) -> list[TunePoint]:
+    """Every point in the space, deterministically ordered."""
+    space.validate()
+    return space.points()
+
+
+def plan_random(space: TuneSpace, seed: int, samples: int) -> list[TunePoint]:
+    """A seeded sample of the grid, without replacement, in grid order."""
+    grid = plan_grid(space)
+    if samples >= len(grid):
+        return grid
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    rng = _derive_rng(seed)
+    picks = sorted(rng.sample(range(len(grid)), samples))
+    return [grid[i] for i in picks]
+
+
+def plan_points(
+    space: TuneSpace, search: str, seed: int, samples: int
+) -> list[TunePoint]:
+    """Dispatch on the search strategy name used by the CLI."""
+    if search == "grid":
+        return plan_grid(space)
+    if search in ("random", "halving"):
+        return plan_random(space, seed, samples)
+    raise ValueError(f"unknown search strategy {search!r}")

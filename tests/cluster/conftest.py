@@ -18,6 +18,8 @@ import pytest
 from repro.cluster.gateway import Gateway, GatewayConfig
 from repro.metrics import MetricsRegistry
 from repro.service.protocol import (
+    CancelledResponse,
+    CancelRequest,
     CellResult,
     ErrorResponse,
     HealthRequest,
@@ -45,6 +47,12 @@ class FakeRunner:
       cells of the next submit, then fail health probes (stays dead
       until ``health_ok`` is set back to True);
     * ``health_ok`` — when False, probe connections close unanswered.
+
+    Cancels arrive on their own connection (like the real node client):
+    the runner records them in ``cancels``, flags the job, and the
+    in-flight submit stream notices between cells and finishes with a
+    ``cancelled`` JobDone — mirroring the real server's
+    between-batches cancel check.
     """
 
     def __init__(self, name: str):
@@ -63,6 +71,8 @@ class FakeRunner:
         self.queue_depth = 0
         self.workers = 1
         self.counters: dict = {}
+        self.cancels: list[str] = []
+        self.cancelled_jobs: set[str] = set()
 
     @property
     def address(self) -> str:
@@ -105,6 +115,17 @@ class FakeRunner:
                         )
                     )
                     await writer.drain()
+                elif isinstance(request, CancelRequest):
+                    self.cancels.append(request.job_id)
+                    self.cancelled_jobs.add(request.job_id)
+                    writer.write(
+                        encode_message(
+                            CancelledResponse(
+                                job_id=request.job_id, state="running"
+                            )
+                        )
+                    )
+                    await writer.drain()
                 elif isinstance(request, SubmitRequest):
                     if not await self._submit(request, writer):
                         return  # aborted mid-stream; transport is gone
@@ -141,6 +162,19 @@ class FakeRunner:
         )
         await writer.drain()
         for i, spec in enumerate(request.cells):
+            if job_id in self.cancelled_jobs:
+                writer.write(
+                    encode_message(
+                        JobDone(
+                            job_id=job_id,
+                            state="cancelled",
+                            cells_total=len(request.cells),
+                            cells_computed=i,
+                        )
+                    )
+                )
+                await writer.drain()
+                return True
             if self.die_after_cells is not None and i >= self.die_after_cells:
                 self.die_after_cells = None
                 self.health_ok = False  # stay dead for the health loop too

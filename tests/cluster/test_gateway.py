@@ -7,6 +7,7 @@ completion, probe-driven rejoin, gateway-level admission control, and
 cluster-wide metrics aggregation.
 """
 
+import threading
 import time
 
 import pytest
@@ -171,6 +172,51 @@ def test_status_result_cancel_lifecycle(cluster_factory):
     # Cancelling a finished job is a no-op reporting the final state.
     cancelled = client.cancel(outcome.job_id)
     assert cancelled.state == "done"
+
+
+def test_cancel_propagates_to_inflight_node_slice(cluster_factory):
+    """A gateway cancel must reach the node running the slice.
+
+    Regression test: the gateway used to only flag the job and let
+    node-side sub-jobs run to completion, so a cancelled 1000-cell job
+    kept burning node CPU.  Now the node receives a CancelRequest for
+    its sub-job, stops between cells, and answers the stream with a
+    cancelled JobDone.
+    """
+    harness = cluster_factory(runner_count=1, steal_watermark=100)
+    runner = harness.runners[0]
+    runner.delay = 0.2  # slow cells: the slice is mid-stream when we cancel
+    cells = [CellSpec(workload=f"w{i}", config="IC") for i in range(8)]
+
+    holder = {}
+
+    def run_submit():
+        holder["outcome"] = Client(port=harness.port, timeout=30).submit(cells)
+
+    thread = threading.Thread(target=run_submit)
+    thread.start()
+    try:
+        wait_until(lambda: runner.cells_served >= 1)
+        jobs = harness.gateway.table.unfinished()
+        assert len(jobs) == 1
+        cancelled = Client(port=harness.port, timeout=10).cancel(
+            jobs[0].job_id
+        )
+        assert cancelled.state in ("running", "cancelled")
+    finally:
+        thread.join(timeout=30)
+    assert not thread.is_alive()
+
+    outcome = holder["outcome"]
+    assert outcome.state == "cancelled"
+    # The node actually received the cancel for its own sub-job id...
+    assert runner.cancels == ["runner0-job-1"]
+    # ...and stopped serving cells instead of running the slice dry.
+    assert runner.cells_served < len(cells)
+    assert sum(1 for entry in outcome.entries if entry is None) > 0
+    assert harness.counter("cluster.cancels_propagated") == 1
+    assert harness.counter("cluster.jobs_cancelled") == 1
+    assert harness.counter("cluster.jobs_failed") == 0
 
 
 def test_health_and_metrics_aggregate_across_nodes(cluster_factory):

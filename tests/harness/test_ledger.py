@@ -11,6 +11,8 @@ from repro.harness.experiment import CONFIGS
 from repro.harness.figures import ResultMatrix, run_fig6
 from repro.metrics import (
     LEDGER_VERSION,
+    SUPPORTED_VERSIONS,
+    SWEEP_LEDGER_VERSION,
     LedgerError,
     MetricsRegistry,
     build_run_ledger,
@@ -93,8 +95,45 @@ def test_validate_rejects_wrong_types(fig6_matrix):
 
 def test_validate_rejects_unknown_version(fig6_matrix):
     ledger = _ledger(fig6_matrix)
-    ledger["version"] = LEDGER_VERSION + 1
+    ledger["version"] = max(SUPPORTED_VERSIONS) + 1
     with pytest.raises(LedgerError, match="version"):
+        validate_ledger(ledger)
+
+
+def _sweep_section() -> dict:
+    return {
+        "search": "grid",
+        "seed": 1,
+        "workloads": ["gzip"],
+        "points": [],
+        "records": [],
+        "digest": "0" * 64,
+    }
+
+
+def test_sweep_section_upgrades_ledger_to_v2(fig6_matrix):
+    ledger = build_run_ledger(
+        ["tune"], ["tune-sweep"], fig6_matrix, sweep=_sweep_section()
+    )
+    assert ledger["version"] == SWEEP_LEDGER_VERSION
+    validate_ledger(ledger)
+    assert "sweep: grid (seed 1)" in format_ledger(ledger)
+    # A sweep-free ledger stays at v1 — old readers never see the bump.
+    assert _ledger(fig6_matrix)["version"] == LEDGER_VERSION
+
+
+def test_sweep_section_on_v1_ledger_rejected(fig6_matrix):
+    ledger = _ledger(fig6_matrix)
+    ledger["sweep"] = _sweep_section()
+    with pytest.raises(LedgerError, match="sweep section requires"):
+        validate_ledger(ledger)
+
+
+def test_sweep_section_missing_keys_rejected(fig6_matrix):
+    sweep = _sweep_section()
+    del sweep["digest"]
+    ledger = build_run_ledger(["tune"], ["tune-sweep"], fig6_matrix, sweep=sweep)
+    with pytest.raises(LedgerError, match="sweep: missing key 'digest'"):
         validate_ledger(ledger)
 
 

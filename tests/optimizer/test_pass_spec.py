@@ -1,0 +1,90 @@
+"""Explicit pass-spec strings: parsing, aliases, flag equivalence."""
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig
+from repro.optimizer.pipeline import (
+    PASS_ALIASES,
+    PASS_NAMES,
+    FrameOptimizer,
+    OptimizerConfig,
+    format_pass_spec,
+    parse_pass_spec,
+)
+from repro.timing.config import ConfigError
+
+
+def test_parse_canonical_spec():
+    assert parse_pass_spec(",".join(PASS_NAMES)) == PASS_NAMES
+
+
+def test_parse_resolves_legend_aliases():
+    assert parse_pass_spec("asst,dce") == ("va", "dce")
+    assert PASS_ALIASES == {"asst": "va"}
+
+
+def test_parse_tolerates_whitespace_and_preserves_order():
+    assert parse_pass_spec(" sf , cp , dce ") == ("sf", "cp", "dce")
+
+
+@pytest.mark.parametrize(
+    "spec, match",
+    [
+        ("cp,,dce", "empty pass name"),
+        ("cp,warp,dce", "unknown pass"),
+        ("cp,cp,dce", "duplicate pass"),
+        ("asst,va,dce", "duplicate pass"),  # alias collides with target
+        ("cp,sf", "must appear in the spec"),  # dce is mandatory
+        ("", "empty pass name"),
+    ],
+)
+def test_parse_rejects_malformed_specs(spec, match):
+    with pytest.raises(ConfigError, match=match) as excinfo:
+        parse_pass_spec(spec)
+    assert excinfo.value.field == "optimizer.pass_spec"
+
+
+def test_format_is_the_inverse_of_parse():
+    spec = "ra,nop,dce"
+    assert format_pass_spec(parse_pass_spec(spec)) == spec
+
+
+def test_spec_overrides_enable_flags():
+    # With a spec the per-pass booleans are ignored entirely.
+    config = OptimizerConfig(pass_spec="cp,dce", enable_cp=False)
+    assert config.resolved_pass_names() == ("cp", "dce")
+
+
+def test_disabled_flag_equals_leave_one_out_spec():
+    for name in ("nop", "cp", "ra", "cse", "sf", "asst"):
+        by_flag = OptimizerConfig().disabled(name).resolved_pass_names()
+        resolved = PASS_ALIASES.get(name, name)
+        by_spec = OptimizerConfig(
+            pass_spec=format_pass_spec(
+                tuple(n for n in PASS_NAMES if n != resolved)
+            )
+        ).resolved_pass_names()
+        assert by_flag == by_spec
+
+
+def test_optimizer_builds_passes_in_spec_order():
+    optimizer = FrameOptimizer(OptimizerConfig(pass_spec="sf,cp,dce"))
+    assert len(optimizer._passes) == 3
+    default = FrameOptimizer(OptimizerConfig())
+    assert len(default._passes) == len(PASS_NAMES)
+
+
+def test_bad_spec_fails_at_optimizer_construction():
+    with pytest.raises(ConfigError, match="unknown pass"):
+        FrameOptimizer(OptimizerConfig(pass_spec="hoist,dce"))
+
+
+def test_pass_spec_lands_in_the_experiment_fingerprint():
+    base = ExperimentConfig(name="RPO", frontend="replay", optimize=True)
+    tuned = ExperimentConfig(
+        name="RPO",
+        frontend="replay",
+        optimize=True,
+        optimizer=OptimizerConfig(pass_spec="cp,dce"),
+    )
+    assert base.fingerprint() != tuned.fingerprint()

@@ -1,0 +1,67 @@
+"""Property tests: arbitrary pass subsets/orders stay correct.
+
+Two layers.  Pure spec algebra: any sampled subset/order round-trips
+through parse/format and resolves to the class sequence the pipeline
+will run.  Semantics: running sampled specs as differential-oracle
+variants never diverges from the emulator — optimization correctness
+is order- and subset-independent, which is what licenses the tune
+subsystem to search that space freely.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz.generator import generate_program
+from repro.fuzz.oracle import OracleConfig, run_differential, variant_config
+from repro.optimizer.pipeline import (
+    PASS_NAMES,
+    FrameOptimizer,
+    OptimizerConfig,
+    format_pass_spec,
+    parse_pass_spec,
+)
+
+_OPTIONAL = [n for n in PASS_NAMES if n != "dce"]
+
+#: A random subset of the optional passes in a random order, with the
+#: mandatory dce terminal appended — every spec the planner can emit.
+_specs = st.permutations(_OPTIONAL).flatmap(
+    lambda order: st.integers(min_value=0, max_value=len(order)).map(
+        lambda k: format_pass_spec(tuple(order[:k]) + ("dce",))
+    )
+)
+
+
+@given(_specs)
+@settings(max_examples=100, deadline=None)
+def test_spec_round_trips_and_resolves_in_order(spec):
+    names = parse_pass_spec(spec)
+    assert format_pass_spec(names) == spec
+    assert names[-1] == "dce" and len(set(names)) == len(names)
+    config = OptimizerConfig(pass_spec=spec)
+    assert config.resolved_pass_names() == names
+    # The optimizer instantiates exactly those passes, in spec order.
+    built = [type(p).__name__ for p in FrameOptimizer(config)._passes]
+    assert built == [
+        type(p).__name__
+        for p in FrameOptimizer(
+            OptimizerConfig(pass_spec=format_pass_spec(names))
+        )._passes
+    ]
+    assert len(built) == len(names)
+
+
+@given(_specs, st.integers(min_value=1, max_value=40))
+@settings(max_examples=20, deadline=None)
+def test_sampled_specs_keep_the_oracle_clean(spec, seed):
+    """Differential check: any subset/order commits the same
+    architectural state as the unoptimized emulator."""
+    config = OracleConfig(variants=("full", f"spec:{spec}"))
+    report = run_differential(generate_program(seed), config)
+    assert report.ok, (spec, seed, report.divergences)
+
+
+def test_variant_config_accepts_specs_and_rejects_bad_ones():
+    assert variant_config("spec:sf,cp,dce").pass_spec == "sf,cp,dce"
+    with pytest.raises(ValueError, match="pass_spec"):
+        variant_config("spec:sf,cp")  # missing the dce terminal

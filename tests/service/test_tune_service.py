@@ -1,0 +1,72 @@
+"""Service-routed tune sweeps: byte-identical to a local sweep.
+
+The reproducibility contract of `tune sweep --service`: shipping
+points as kind="tune" cells — where the server lowers each payload
+onto the same MatrixTask a local sweep builds — must return entries
+(and therefore a sweep digest) identical to a local run, even though
+the service computes against its own artifact store.
+"""
+
+import pytest
+
+from repro.artifacts.store import ArtifactStore
+from repro.service.client import Client, ServiceError
+from repro.service.protocol import CellSpec
+from repro.tune.engine import SweepSettings, run_sweep
+from repro.tune.space import FULL_PASS_SPEC, TunePoint, TuneSpace
+
+
+@pytest.fixture(scope="module")
+def client(real_service):
+    return Client(port=real_service.port, timeout=120.0)
+
+
+SPACE = TuneSpace(
+    workloads=("gzip",),
+    pass_specs=(None, FULL_PASS_SPEC),
+    fill_max_uops=(16,),
+)
+
+
+def test_service_sweep_digest_matches_local(client, tmp_path):
+    settings = SweepSettings(scale=0)
+    local = run_sweep(SPACE, settings, store=ArtifactStore(tmp_path))
+    remote = run_sweep(SPACE, settings, client=client)
+    assert remote.digest == local.digest
+    assert remote.records == local.records
+    assert len(remote.records) == 3
+    assert remote.cells_cached + remote.cells_computed == 3
+
+
+def test_bad_tune_payload_rejected_at_admission(client):
+    bad = CellSpec(
+        workload="gzip",
+        config="tune-bogus",
+        scale=0,
+        kind="tune",
+        payload={"frame_max_uops": 4},  # below the constructor minimum
+    )
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit([bad])
+    assert excinfo.value.code == "bad_request"
+    assert "frame_max_uops" in str(excinfo.value)
+
+
+def test_missing_tune_payload_rejected(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit(
+            [CellSpec(workload="gzip", config="tune-x", kind="tune")]
+        )
+    assert excinfo.value.code == "bad_request"
+
+
+def test_unknown_workload_in_tune_cell_rejected(client):
+    spec = CellSpec(
+        workload="no-such-workload",
+        config="tune-x",
+        kind="tune",
+        payload=TunePoint().to_json(),
+    )
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit([spec])
+    assert excinfo.value.code == "bad_request"

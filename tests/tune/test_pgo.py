@@ -1,0 +1,73 @@
+"""Profile-guided frame construction: selection and the delta report."""
+
+import pytest
+
+from repro.artifacts.store import ArtifactStore
+from repro.metrics import MetricsRegistry
+from repro.tune.engine import SweepSettings, TuneError
+from repro.tune.pgo import format_pgo, run_pgo, select_frame_params
+from repro.tune.space import FULL_PASS_SPEC, TunePoint, ablated_pass_spec
+
+
+def record(workload: str, point: TunePoint, ipc: float) -> dict:
+    return {
+        "workload": workload,
+        "label": point.label(),
+        "point": point.to_json(),
+        "entry": {"ipc_x86": ipc},
+    }
+
+
+def test_selects_best_optimized_replay_point_per_workload():
+    small = TunePoint(frame_max_uops=128)
+    profile = [
+        record("gzip", TunePoint(), 1.0),
+        record("gzip", small, 1.4),
+        record("dream", TunePoint(), 2.0),
+        record("dream", small, 1.5),
+        # Non-candidates: unoptimized replay and tcache cells.
+        record("gzip", TunePoint(pass_spec=None), 9.0),
+        record("gzip", TunePoint(frontend="tcache", pass_spec=None), 9.0),
+    ]
+    selected = select_frame_params(profile)
+    assert selected["gzip"].frame_max_uops == 128
+    assert selected["dream"].frame_max_uops == 256
+
+
+def test_selection_pins_the_full_pipeline():
+    """PGO tunes frame construction only: an ablated winner still runs
+    the full pass spec in the tuned configuration."""
+    ablated = TunePoint(pass_spec=ablated_pass_spec("cp"), frame_max_uops=128)
+    selected = select_frame_params([record("gzip", ablated, 1.0)])
+    assert selected["gzip"].pass_spec == FULL_PASS_SPEC
+    assert selected["gzip"].frame_max_uops == 128
+
+
+def test_selection_without_candidates_raises():
+    with pytest.raises(TuneError, match="no optimized replay cells"):
+        select_frame_params([record("gzip", TunePoint(pass_spec=None), 1.0)])
+
+
+def test_run_pgo_reports_per_workload_delta(tmp_path):
+    profile = [record("gzip", TunePoint(frame_max_uops=128), 1.0)]
+    registry = MetricsRegistry()
+    report = run_pgo(
+        profile,
+        SweepSettings(scale=0),
+        store=ArtifactStore(tmp_path),
+        metrics=registry,
+    )
+    assert report["schema"] == "repro-uopt/tune-pgo"
+    assert report["baseline_label"] == TunePoint().label()
+    (row,) = report["rows"]
+    assert row["workload"] == "gzip"
+    assert row["params"]["frame_max_uops"] == 128
+    assert row["base_ipc"] > 0 and row["tuned_ipc"] > 0
+    assert row["delta"] == pytest.approx(
+        row["tuned_ipc"] / row["base_ipc"] - 1.0, abs=1e-5
+    )
+    assert report["mean_delta"] == row["delta"]
+    assert registry.counter("tune.pgo_runs").value == 1
+
+    text = format_pgo(report)
+    assert "gzip" in text and "frame=128" in text and "mean" in text

@@ -1,0 +1,42 @@
+"""Planner determinism: same (space, seed, samples) -> same plan."""
+
+import pytest
+
+from repro.tune.planner import plan_grid, plan_points, plan_random
+from repro.tune.space import default_space, smoke_space
+
+
+def test_grid_order_is_stable():
+    space = default_space(("gzip",))
+    assert plan_grid(space) == plan_grid(space) == space.points()
+
+
+def test_random_is_a_seeded_subset_in_grid_order():
+    space = default_space(("gzip",))
+    grid = plan_grid(space)
+    sample = plan_random(space, seed=1, samples=5)
+    assert sample == plan_random(space, seed=1, samples=5)  # reproducible
+    assert len(sample) == 5
+    indices = [grid.index(p) for p in sample]
+    assert indices == sorted(indices)  # grid order, not draw order
+    assert plan_random(space, seed=2, samples=5) != sample  # seed matters
+
+
+def test_random_degenerates_to_grid_when_oversampled():
+    space = smoke_space(("gzip",))
+    assert plan_random(space, seed=1, samples=999) == plan_grid(space)
+
+
+def test_random_rejects_empty_sample():
+    with pytest.raises(ValueError, match="samples must be >= 1"):
+        plan_random(smoke_space(("gzip",)), seed=1, samples=0)
+
+
+def test_plan_points_dispatch():
+    space = smoke_space(("gzip",))
+    assert plan_points(space, "grid", 1, 3) == plan_grid(space)
+    assert plan_points(space, "random", 1, 3) == plan_random(space, 1, 3)
+    # Halving draws its initial population from the same seeded sample.
+    assert plan_points(space, "halving", 1, 3) == plan_random(space, 1, 3)
+    with pytest.raises(ValueError, match="unknown search strategy"):
+        plan_points(space, "simulated-annealing", 1, 3)

@@ -1,0 +1,137 @@
+"""TunePoint/TuneSpace: validation, serialization, labels, grids."""
+
+import pytest
+
+from repro.harness.experiment import CONFIGS
+from repro.optimizer.pipeline import PASS_NAMES
+from repro.timing.config import ConfigError
+from repro.tune.space import (
+    FIG10_ABLATIONS,
+    FULL_PASS_SPEC,
+    TunePoint,
+    TuneSpace,
+    ablated_pass_spec,
+    default_space,
+    smoke_space,
+)
+
+
+def test_full_pass_spec_is_canonical_order():
+    assert FULL_PASS_SPEC == ",".join(PASS_NAMES)
+
+
+def test_ablated_pass_spec_drops_exactly_one_pass():
+    for name in FIG10_ABLATIONS:
+        spec = ablated_pass_spec(name)
+        names = spec.split(",")
+        assert len(names) == len(PASS_NAMES) - 1
+        assert "dce" in names  # the terminal pass is never ablated
+    # The legend alias and the canonical name ablate the same pass.
+    assert ablated_pass_spec("asst") == ablated_pass_spec("va")
+
+
+@pytest.mark.parametrize("name", ["dce", "bogus", ""])
+def test_ablated_pass_spec_rejects_unablatable(name):
+    with pytest.raises(ConfigError, match="cannot ablate"):
+        ablated_pass_spec(name)
+
+
+def test_point_json_round_trip():
+    point = TunePoint(frame_max_uops=128, promotion_threshold=8)
+    assert TunePoint.from_json(point.to_json()) == point
+
+
+def test_from_json_rejects_unknown_and_invalid_fields():
+    with pytest.raises(ConfigError, match="unknown point fields: frame_uops"):
+        TunePoint.from_json({"frame_uops": 128})
+    with pytest.raises(ConfigError, match="payload must be an object"):
+        TunePoint.from_json([1, 2, 3])
+    with pytest.raises(ConfigError, match="tune.frame_max_uops"):
+        TunePoint.from_json({"frame_max_uops": 4})
+    with pytest.raises(ConfigError, match="tune.fill.max_uops"):
+        TunePoint.from_json({"fill_max_uops": 2})
+
+
+def test_validate_rejects_bad_knobs():
+    with pytest.raises(ConfigError, match="tune.frontend"):
+        TunePoint(frontend="decoupled").validate()
+    with pytest.raises(ConfigError, match="optimizer.pass_spec"):
+        TunePoint(pass_spec="cp,sf").validate()  # missing dce terminal
+    with pytest.raises(ConfigError, match="tune.promotion_threshold"):
+        TunePoint(promotion_threshold=0).validate()
+    with pytest.raises(ConfigError, match="tune.backedge_close_uops"):
+        TunePoint(backedge_close_uops=0).validate()
+
+
+def test_labels_are_deterministic_and_distinct():
+    grid = default_space(("gzip",)).points()
+    labels = [p.label() for p in grid]
+    assert labels == [p.label() for p in default_space(("gzip",)).points()]
+    assert len(set(labels)) == len(labels)
+    assert all(label.startswith("tune-") for label in labels)
+
+
+def test_experiment_config_lowers_the_point():
+    point = TunePoint(
+        pass_spec=ablated_pass_spec("cp"), frame_max_uops=128, fill_max_uops=64
+    )
+    config = point.experiment_config()
+    assert config.name == point.label()
+    assert config.frontend == "replay" and config.optimize
+    assert config.optimizer.pass_spec == point.pass_spec
+    assert config.constructor.max_uops == 128
+    assert config.processor.fill_unit.max_uops == 64
+
+    rp = TunePoint(pass_spec=None).experiment_config()
+    assert not rp.optimize
+
+    tcache = TunePoint(frontend="tcache", pass_spec=None, fill_max_uops=16)
+    assert tcache.experiment_config().frontend == "tcache"
+    assert tcache.experiment_config().processor.fill_unit.max_uops == 16
+
+
+def test_full_spec_point_matches_default_rpo_pipeline():
+    """The fig10 contract: the FULL_PASS_SPEC point runs exactly the
+    pass sequence the stock RPO configuration runs."""
+    tuned = TunePoint().experiment_config()
+    stock = CONFIGS["RPO"]
+    assert (
+        tuned.optimizer.resolved_pass_names()
+        == stock.optimizer.resolved_pass_names()
+    )
+    for name in FIG10_ABLATIONS:
+        spec_point = TunePoint(pass_spec=ablated_pass_spec(name))
+        assert (
+            spec_point.experiment_config().optimizer.resolved_pass_names()
+            == stock.optimizer.disabled(name).resolved_pass_names()
+        )
+
+
+def test_default_space_embeds_fig10_ablation():
+    points = default_space().points()
+    specs = {p.pass_spec for p in points if p.frontend == "replay"
+             and p.frame_max_uops == 256}
+    assert None in specs  # RP
+    assert FULL_PASS_SPEC in specs  # RPO
+    for name in FIG10_ABLATIONS:
+        assert ablated_pass_spec(name) in specs
+
+
+def test_space_grid_sizes():
+    # 8 specs x 2 frame sizes + 3 fill sizes = 19 points.
+    assert len(default_space().points()) == 19
+    # 4 specs x 1 frame + 2 fill sizes = 6 points.
+    assert len(smoke_space().points()) == 6
+
+
+def test_space_validation_errors():
+    with pytest.raises(ConfigError, match="tune.workloads"):
+        TuneSpace(workloads=()).validate()
+    with pytest.raises(KeyError):
+        TuneSpace(workloads=("no-such-workload",)).validate()
+    with pytest.raises(ConfigError, match="no replay and no tcache"):
+        TuneSpace(workloads=("gzip",), pass_specs=()).validate()
+    with pytest.raises(ConfigError, match="duplicate point"):
+        TuneSpace(
+            workloads=("gzip",), pass_specs=(FULL_PASS_SPEC, FULL_PASS_SPEC)
+        ).points()

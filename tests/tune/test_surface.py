@@ -1,0 +1,99 @@
+"""Surface aggregation over synthetic records: pure math, no simulation."""
+
+from repro.tune.space import FULL_PASS_SPEC, TunePoint, ablated_pass_spec
+from repro.tune.surface import build_surface, format_surface, surface_digest
+
+
+def record(workload: str, point: TunePoint, ipc: float) -> dict:
+    return {
+        "workload": workload,
+        "label": point.label(),
+        "point": point.to_json(),
+        "entry": {"workload": workload, "config": point.label(),
+                  "ipc_x86": ipc, "uop_reduction": 0.1},
+    }
+
+
+RP = TunePoint(pass_spec=None)
+RPO = TunePoint()
+NO_CP = TunePoint(pass_spec=ablated_pass_spec("cp"))
+NO_SF = TunePoint(pass_spec=ablated_pass_spec("sf"))
+SMALL_FRAME = TunePoint(frame_max_uops=128)
+FILL16 = TunePoint(frontend="tcache", pass_spec=None, fill_max_uops=16)
+FILL32 = TunePoint(frontend="tcache", pass_spec=None, fill_max_uops=32)
+
+RECORDS = [
+    record("gzip", RP, 1.0),
+    record("gzip", RPO, 2.0),
+    record("gzip", NO_CP, 1.5),
+    record("gzip", NO_SF, 1.9),
+    record("gzip", SMALL_FRAME, 1.8),
+    record("gzip", FILL16, 0.8),
+    record("gzip", FILL32, 0.9),
+]
+
+
+def test_workload_summary_best_worst_and_gain():
+    surface = build_surface(RECORDS)
+    entry = surface["workloads"]["gzip"]
+    assert entry["cells"] == 7
+    assert entry["rp_ipc"] == 1.0 and entry["rpo_ipc"] == 2.0
+    assert entry["best"]["label"] == RPO.label()
+    assert entry["worst"]["label"] == NO_CP.label()
+    assert entry["best_gain"] == 1.0  # 2.0 / 1.0 - 1
+
+
+def test_fig10_slice_uses_paper_normalization():
+    surface = build_surface(RECORDS)
+    bars = surface["fig10"]["gzip"]
+    # (ipc_variant - RP) / (RPO - RP): no-cp lands mid-span.
+    assert bars == {"no-cp": 0.5, "no-sf": 0.9}
+
+
+def test_fig10_slice_requires_rp_and_rpo():
+    without_rp = [r for r in RECORDS if r["point"]["pass_spec"] is not None]
+    assert build_surface(without_rp)["fig10"] == {}
+
+
+def test_pass_marginals():
+    surface = build_surface(RECORDS)
+    marginals = surface["pass_marginals"]
+    assert marginals["cp"]["leave_one_out"] == 0.5
+    assert marginals["sf"]["leave_one_out"] == 0.9
+    # Cells containing cp (RPO 2.0, no-sf 1.9, frame128 1.8) outscore
+    # the one without it (no-cp 1.5).
+    assert marginals["cp"]["subset_delta"] == 0.4
+    # Never-ablated passes have no without-pass sample and no
+    # leave-one-out bar, so they carry no marginal at all.
+    assert "ra" not in marginals
+
+
+def test_frame_and_fill_response_curves():
+    surface = build_surface(RECORDS)
+    assert surface["frame_response"]["gzip"] == [[128, 1.8], [256, 2.0]]
+    assert surface["fill_response"]["gzip"] == [[16, 0.8], [32, 0.9]]
+
+
+def test_category_slices_and_unknown_workloads():
+    records = RECORDS + [record("not-a-workload", RPO, 1.0)]
+    surface = build_surface(records)
+    assert surface["workloads"]["not-a-workload"]["category"] == "Unknown"
+    assert "Unknown" in surface["slices"]
+    gzip_category = surface["workloads"]["gzip"]["category"]
+    assert "gzip" in surface["slices"][gzip_category]["workloads"]
+
+
+def test_digest_is_order_independent_and_stable():
+    digest = surface_digest(build_surface(RECORDS))
+    assert digest == surface_digest(build_surface(list(reversed(RECORDS))))
+    assert len(digest) == 64
+
+
+def test_format_surface_renders_every_section():
+    text = format_surface(build_surface(RECORDS))
+    assert "tune surface: 7 cells" in text
+    assert "pass marginals" in text
+    assert "fig10 ablation slice" in text
+    assert "frame-size response" in text
+    assert "fill-unit response" in text
+    assert "category slices" in text

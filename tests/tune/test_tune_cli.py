@@ -1,0 +1,89 @@
+"""End-to-end `tune` CLI: sweep -> report -> pgo over real files."""
+
+import contextlib
+import io
+import json
+
+import pytest
+
+from repro.tune.cli import tune_main
+
+
+@pytest.fixture(scope="module")
+def sweep_files(tmp_path_factory):
+    """One smoke sweep, captured: (stdout, report path, ledger path)."""
+    tmp = tmp_path_factory.mktemp("tune-cli")
+    out = tmp / "sweep.json"
+    ledger = tmp / "run.json"
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        code = tune_main([
+            "sweep", "--space", "smoke", "--workloads", "gzip",
+            "--scale", "0", "--jobs", "2",
+            "--cache-dir", str(tmp / "cache"),
+            "--out", str(out), "--emit-stats", str(ledger),
+        ])
+    assert code == 0
+    return stdout.getvalue(), out, ledger
+
+
+def _digest_line(text: str, prefix: str) -> str:
+    lines = [x for x in text.splitlines() if x.startswith(prefix)]
+    assert len(lines) == 1, f"expected one {prefix!r} line"
+    return lines[0]
+
+
+def test_sweep_prints_surface_and_digests(sweep_files):
+    stdout, out, ledger = sweep_files
+    assert "tune surface: 6 cells over 1 workloads" in stdout
+    assert _digest_line(stdout, "sweep digest: ")
+    assert _digest_line(stdout, "surface digest: ")
+    report = json.loads(out.read_text())
+    assert report["schema"] == "repro-uopt/tune-sweep"
+    assert len(report["records"]) == 6
+    assert report["surface"]["cells"] == 6
+    assert json.loads(ledger.read_text())["version"] == 2
+
+
+def test_report_rebuilds_identical_surface_from_both_files(
+    sweep_files, capsys
+):
+    stdout, out, ledger = sweep_files
+    expected = _digest_line(stdout, "surface digest: ")
+    assert tune_main(["report", str(out)]) == 0
+    from_report = capsys.readouterr().out
+    assert tune_main(["report", str(ledger)]) == 0
+    from_ledger = capsys.readouterr().out
+    assert _digest_line(from_report, "surface digest: ") == expected
+    assert _digest_line(from_ledger, "surface digest: ") == expected
+
+
+def test_pgo_from_sweep_report(sweep_files, tmp_path, capsys):
+    _, out, _ = sweep_files
+    pgo_out = tmp_path / "pgo.json"
+    code = tune_main([
+        "pgo", str(out), "--scale", "0",
+        "--cache-dir", str(out.parent / "cache"),
+        "--json", "--out", str(pgo_out),
+    ])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report == json.loads(pgo_out.read_text())
+    (row,) = report["rows"]
+    assert row["workload"] == "gzip"
+    assert "frame_max_uops" in row["params"]
+
+
+def test_error_paths(tmp_path, capsys):
+    assert tune_main([]) == 2
+    assert tune_main(["prune"]) == 2
+    assert tune_main(["report", str(tmp_path / "missing.json")]) == 1
+    assert "error:" in capsys.readouterr().err
+
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"records\": []}")
+    assert tune_main(["pgo", str(bad)]) == 1
+    assert "no sweep records" in capsys.readouterr().err
+
+    assert tune_main(["sweep", "--workloads", "nope", "--scale", "0"]) == 1
+    assert "error:" in capsys.readouterr().err
